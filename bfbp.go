@@ -1,0 +1,284 @@
+// Package bfbp is a from-scratch Go reproduction of "Bias-Free Branch
+// Predictor" (Gope & Lipasti, MICRO 2014): the BF-Neural and BF-TAGE
+// predictors, every baseline the paper compares against (perceptron,
+// OH-SNAP, TAGE/ISL-TAGE), a CBP-style trace-driven simulation harness,
+// and a synthetic 40-trace workload suite standing in for the CBP-4
+// traces.
+//
+// Quick start:
+//
+//	spec, _ := bfbp.TraceByName("SPEC03")
+//	tr := spec.GenerateN(200_000)
+//	p := bfbp.NewBFNeural(bfbp.BFNeural64KB())
+//	stats, _ := bfbp.Run(p, tr.Stream(), bfbp.Options{Warmup: 20_000})
+//	fmt.Printf("MPKI = %.3f\n", stats.MPKI())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package bfbp
+
+import (
+	"errors"
+	"io"
+
+	"bfbp/internal/bst"
+	"bfbp/internal/core/bfgehl"
+	"bfbp/internal/core/bfneural"
+	"bfbp/internal/core/bftage"
+	"bfbp/internal/predictor/bimodal"
+	"bfbp/internal/predictor/filter"
+	"bfbp/internal/predictor/gehl"
+	"bfbp/internal/predictor/gshare"
+	"bfbp/internal/predictor/local"
+	"bfbp/internal/predictor/ohsnap"
+	"bfbp/internal/predictor/perceptron"
+	"bfbp/internal/predictor/strided"
+	"bfbp/internal/predictor/tage"
+	"bfbp/internal/predictor/tournament"
+	"bfbp/internal/predictor/yags"
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+	"bfbp/internal/workload"
+)
+
+// Core simulation types, re-exported from the harness.
+type (
+	// Predictor is the interface every branch predictor implements.
+	Predictor = sim.Predictor
+	// StorageAccounter reports a predictor's hardware budget.
+	StorageAccounter = sim.StorageAccounter
+	// TableHitReporter exposes per-table provider counts (TAGE family).
+	TableHitReporter = sim.TableHitReporter
+	// Stats holds accuracy results of a run.
+	Stats = sim.Stats
+	// Options configures a run (warmup, update delay, per-PC stats).
+	Options = sim.Options
+	// Result pairs a predictor name with its stats.
+	Result = sim.Result
+	// Breakdown is an itemised storage budget.
+	Breakdown = sim.Breakdown
+)
+
+// Trace types.
+type (
+	// Record is one committed conditional branch.
+	Record = trace.Record
+	// TraceReader yields records in commit order.
+	TraceReader = trace.Reader
+	// Trace is an in-memory branch trace.
+	Trace = trace.Slice
+)
+
+// Workload types.
+type (
+	// TraceSpec describes one synthetic benchmark trace.
+	TraceSpec = workload.Spec
+	// Family is a workload category (SPEC, FP, INT, MM, SERV).
+	Family = workload.Family
+	// BiasStats summarises a trace's biased-branch population (Fig. 2).
+	BiasStats = workload.BiasStats
+)
+
+// Run drives a predictor over a trace and returns accuracy statistics.
+func Run(p Predictor, r TraceReader, opt Options) (Stats, error) {
+	return sim.Run(p, r, opt)
+}
+
+// RunAll evaluates several predictors over identical copies of a trace.
+func RunAll(preds []Predictor, source func() TraceReader, opt Options) ([]Result, error) {
+	return sim.RunAll(preds, func() trace.Reader { return source() }, opt)
+}
+
+// Traces returns the 40-trace benchmark suite in reporting order.
+func Traces() []TraceSpec { return workload.Traces() }
+
+// TraceByName returns the named trace spec (e.g. "SPEC03", "SERV1").
+func TraceByName(name string) (TraceSpec, bool) { return workload.ByName(name) }
+
+// TraceNames returns the 40 trace names in reporting order.
+func TraceNames() []string { return workload.Names() }
+
+// ProfileBias classifies a trace's branches as completely biased or not.
+func ProfileBias(r TraceReader) (BiasStats, error) { return workload.ProfileBias(r) }
+
+// Predictor configurations.
+type (
+	// PerceptronConfig parameterises the hashed perceptron baseline.
+	PerceptronConfig = perceptron.Config
+	// OHSNAPConfig parameterises the scaled neural baseline.
+	OHSNAPConfig = ohsnap.Config
+	// TAGEConfig parameterises TAGE / ISL-TAGE.
+	TAGEConfig = tage.Config
+	// BFNeuralConfig parameterises the BF-Neural predictor.
+	BFNeuralConfig = bfneural.Config
+	// BFNeuralMode selects the Fig. 9 ablation level.
+	BFNeuralMode = bfneural.Mode
+	// BFTAGEConfig parameterises the BF-TAGE predictor.
+	BFTAGEConfig = bftage.Config
+)
+
+// BF-Neural ablation modes (Fig. 9).
+const (
+	// BFModeFilterWeights gates by the BST but keeps the history
+	// unfiltered.
+	BFModeFilterWeights = bfneural.ModeFilterWeights
+	// BFModeBiasFreeGHR filters the history without a recency stack.
+	BFModeBiasFreeGHR = bfneural.ModeBiasFreeGHR
+	// BFModeFull is the complete BF-Neural design.
+	BFModeFull = bfneural.ModeFull
+)
+
+// NewBimodal returns a PC-indexed 2-bit bimodal predictor.
+func NewBimodal(entries int) Predictor { return bimodal.New(entries, 2) }
+
+// NewGShare returns a gshare predictor.
+func NewGShare(entries, histBits int) Predictor { return gshare.New(entries, histBits) }
+
+// NewLocal returns a two-level local-history predictor.
+func NewLocal(histEntries, histBits, phtEntries int) Predictor {
+	return local.New(histEntries, histBits, phtEntries)
+}
+
+// NewPerceptron returns a hashed perceptron predictor.
+func NewPerceptron(cfg PerceptronConfig) Predictor { return perceptron.New(cfg) }
+
+// Perceptron64KB is the paper's Fig. 9 conventional-perceptron baseline:
+// history length 72 in a 64KB budget, no folded-history indexing.
+func Perceptron64KB() PerceptronConfig { return perceptron.Default64KB() }
+
+// NewOHSNAP returns an OH-SNAP-style scaled neural predictor.
+func NewOHSNAP(cfg OHSNAPConfig) Predictor { return ohsnap.New(cfg) }
+
+// OHSNAP64KB is the ~64KB OH-SNAP configuration used in Fig. 8.
+func OHSNAP64KB() OHSNAPConfig { return ohsnap.Default64KB() }
+
+// NewTAGE returns a TAGE/ISL-TAGE predictor.
+func NewTAGE(cfg TAGEConfig) *tage.Predictor { return tage.New(cfg) }
+
+// ISLTAGE returns the full ISL-TAGE configuration with n tagged tables
+// (loop predictor + statistical corrector + IUM), as in Fig. 10.
+func ISLTAGE(n int) TAGEConfig { return tage.Conventional(n) }
+
+// TAGEBare returns the TAGE-with-loop-predictor configuration of Fig. 8
+// (no SC, no IUM).
+func TAGEBare(n int) TAGEConfig { return tage.ConventionalBare(n) }
+
+// NewBFNeural returns the paper's BF-Neural predictor.
+func NewBFNeural(cfg BFNeuralConfig) *bfneural.Predictor { return bfneural.New(cfg) }
+
+// BFNeural64KB is the §VI-B 64KB BF-Neural configuration.
+func BFNeural64KB() BFNeuralConfig { return bfneural.Default64KB() }
+
+// BFNeural32KB is the §VI-B 32KB BF-Neural configuration.
+func BFNeural32KB() BFNeuralConfig { return bfneural.Default32KB() }
+
+// BFNeuralAblation returns the Fig. 9 configuration for a mode.
+func BFNeuralAblation(mode BFNeuralMode) BFNeuralConfig { return bfneural.Ablation(mode) }
+
+// BFNeuralAhead is the §VIII future-work ahead-pipelined configuration:
+// weight rows indexed from history alone, with the PC arriving late.
+func BFNeuralAhead() BFNeuralConfig { return bfneural.AheadPipelined() }
+
+// NewBFTAGE returns the paper's BF-TAGE predictor.
+func NewBFTAGE(cfg BFTAGEConfig) *bftage.Predictor { return bftage.New(cfg) }
+
+// BFISLTAGE returns the BF-ISL-TAGE configuration with n tagged tables
+// (SC and IUM inherited from ISL-TAGE), as in Fig. 10.
+func BFISLTAGE(n int) BFTAGEConfig { return bftage.Conventional(n) }
+
+// BFTAGEBare drops the SC/IUM components.
+func BFTAGEBare(n int) BFTAGEConfig { return bftage.ConventionalBare(n) }
+
+// BFGEHLConfig parameterises the BF-GEHL extension predictor (a GEHL
+// indexed by the bias-free global history register — beyond the paper's
+// evaluated designs, see internal/core/bfgehl).
+type BFGEHLConfig = bfgehl.Config
+
+// NewBFGEHL returns the BF-GEHL extension predictor.
+func NewBFGEHL(cfg BFGEHLConfig) Predictor { return bfgehl.New(cfg) }
+
+// BFGEHL64KB is an 8-table ~64KB BF-GEHL.
+func BFGEHL64KB() BFGEHLConfig { return bfgehl.Default64KB() }
+
+// InterleaveTraces merges traces by round-robin quanta of `quantum`
+// branches, modelling context switches between processes; PCs are
+// offset into disjoint ranges per process.
+func InterleaveTraces(quantum int, traces ...Trace) Trace {
+	return trace.Interleave(quantum, traces...)
+}
+
+// Related-work baseline configurations (paper §VII).
+type (
+	// GEHLConfig parameterises the O-GEHL predictor [11].
+	GEHLConfig = gehl.Config
+	// FilterConfig parameterises the Filter predictor [22].
+	FilterConfig = filter.Config
+	// StridedConfig parameterises the strided-sampling perceptron [26].
+	StridedConfig = strided.Config
+	// TournamentConfig parameterises the Alpha-style hybrid [17].
+	TournamentConfig = tournament.Config
+	// YAGSConfig parameterises the YAGS predictor [16].
+	YAGSConfig = yags.Config
+)
+
+// NewYAGS returns a YAGS predictor (Eden & Mudge 1998): bias in a choice
+// PHT, history capacity spent only on the exceptions.
+func NewYAGS(cfg YAGSConfig) Predictor { return yags.New(cfg) }
+
+// YAGS64KB is a ~64KB YAGS.
+func YAGS64KB() YAGSConfig { return yags.Default64KB() }
+
+// NewGEHL returns an O-GEHL predictor (Seznec 2005), the origin of the
+// geometric history-length series TAGE and BF-TAGE use.
+func NewGEHL(cfg GEHLConfig) Predictor { return gehl.New(cfg) }
+
+// GEHL64KB is an 8-table ~64KB O-GEHL.
+func GEHL64KB() GEHLConfig { return gehl.Default64KB() }
+
+// NewFilter returns the Filter predictor (Chang et al. 1996): bias
+// filtering that protects the pattern table rather than restructuring
+// the history — the paper's closest related work (§VII).
+func NewFilter(cfg FilterConfig) Predictor { return filter.New(cfg) }
+
+// Filter64KB is a ~64KB Filter predictor.
+func Filter64KB() FilterConfig { return filter.Default64KB() }
+
+// NewStrided returns a strided-sampling hashed perceptron (Jiménez,
+// CBP-4): the competing approach to deep history reach on a budget.
+func NewStrided(cfg StridedConfig) Predictor { return strided.New(cfg) }
+
+// Strided64KB is a ~64KB strided perceptron sampling out to 1024
+// branches.
+func Strided64KB() StridedConfig { return strided.Default64KB() }
+
+// NewTournament returns an Alpha-21264-style local/global hybrid.
+func NewTournament(cfg TournamentConfig) Predictor { return tournament.New(cfg) }
+
+// Tournament64KB is a ~64KB tournament hybrid.
+func Tournament64KB() TournamentConfig { return tournament.Default64KB() }
+
+// NewProbabilisticBST builds the probabilistic-counter Branch Status
+// Table the paper advocates for production designs (§IV-B1): unlike the
+// 2-bit FSM, it can reclassify a branch from non-biased back to biased
+// when the application changes phase. Assign it to a BFNeuralConfig or
+// BFTAGEConfig Classifier field.
+func NewProbabilisticBST(entries int, seed uint64) bst.Classifier {
+	return bst.NewProbTable(entries, seed)
+}
+
+// NewBiasOracle builds a static profile-assisted bias classifier (§VI-D)
+// from a profiling pass over the trace; assign it to a BFNeuralConfig or
+// BFTAGEConfig Classifier field.
+func NewBiasOracle(r TraceReader) (*bst.Oracle, error) {
+	o := bst.NewOracle()
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return o, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		o.Observe(rec.PC, rec.Taken)
+	}
+}

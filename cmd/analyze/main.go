@@ -1,0 +1,146 @@
+// Command analyze attributes a predictor's mispredictions to workload
+// structure: per-kernel breakdown, per-PC offender report with branch
+// classes, and side-by-side predictor comparison.
+//
+// Usage:
+//
+//	analyze -t SPEC00 -p bf-isl-tage-10                   # kernel breakdown
+//	analyze -t SPEC00 -p isl-tage-10,bf-isl-tage-10       # comparison
+//	analyze -t SERV3 -p bf-neural -offenders 15           # worst PCs
+//	analyze -t SPEC06 -population                         # branch classes only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bfbp"
+	"bfbp/internal/analysis"
+	"bfbp/internal/sim"
+	"bfbp/internal/workload"
+)
+
+func main() {
+	var (
+		traceName  = flag.String("t", "", "synthetic trace name")
+		preds      = flag.String("p", "", "comma-separated predictor names (bfsim names)")
+		branches   = flag.Int("n", 400_000, "dynamic branches")
+		offenders  = flag.Int("offenders", 0, "print the top-N mispredicted PCs with classes")
+		population = flag.Bool("population", false, "print the branch population summary and exit")
+	)
+	flag.Parse()
+
+	if *traceName == "" {
+		fatal(fmt.Errorf("need -t <trace>"))
+	}
+	spec, ok := workload.ByName(*traceName)
+	if !ok {
+		fatal(fmt.Errorf("unknown trace %q", *traceName))
+	}
+
+	if *population {
+		classes, err := analysis.Classify(spec.GenerateN(*branches).Stream())
+		if err != nil {
+			fatal(err)
+		}
+		rep := analysis.Population(classes)
+		fmt.Printf("trace            %s\n", spec.Name)
+		fmt.Printf("sites            %d\n", rep.Sites)
+		fmt.Printf("dynamic branches %d\n", rep.DynamicBranches)
+		fmt.Printf("biased sites     %d (%.1f%%)\n", rep.BiasedSites,
+			100*float64(rep.BiasedSites)/float64(rep.Sites))
+		fmt.Printf("biased dynamic   %d (%.1f%%)\n", rep.BiasedDynamic,
+			100*float64(rep.BiasedDynamic)/float64(rep.DynamicBranches))
+		fmt.Printf("taken rate       %.1f%%\n", 100*rep.TakenRate)
+		return
+	}
+
+	if *preds == "" {
+		fatal(fmt.Errorf("need -p <predictors> (or -population)"))
+	}
+	names := strings.Split(*preds, ",")
+	var ps []sim.Predictor
+	for _, name := range names {
+		p, err := byName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		ps = append(ps, p)
+	}
+
+	if len(ps) == 1 && *offenders > 0 {
+		tr := spec.GenerateN(*branches)
+		classes, err := analysis.Classify(tr.Stream())
+		if err != nil {
+			fatal(err)
+		}
+		st, err := bfbp.Run(ps[0], tr.Stream(), bfbp.Options{
+			Warmup: uint64(*branches / 10), PerPC: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s: MPKI %.3f\n\n", ps[0].Name(), spec.Name, st.MPKI())
+		fmt.Print(analysis.TopOffendersReport(st, classes, *offenders))
+		return
+	}
+
+	cmp, err := analysis.Compare(spec, *branches, ps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("misprediction attribution on %s (%d branches):\n\n", spec.Name, *branches)
+	fmt.Print(cmp.Render())
+}
+
+// byName resolves bfsim-style predictor names via the public API.
+func byName(name string) (sim.Predictor, error) {
+	switch name {
+	case "bimodal":
+		return bfbp.NewBimodal(1 << 14), nil
+	case "gshare":
+		return bfbp.NewGShare(1<<16, 16), nil
+	case "local":
+		return bfbp.NewLocal(1<<12, 10, 1<<15), nil
+	case "tournament":
+		return bfbp.NewTournament(bfbp.Tournament64KB()), nil
+	case "yags":
+		return bfbp.NewYAGS(bfbp.YAGS64KB()), nil
+	case "filter":
+		return bfbp.NewFilter(bfbp.Filter64KB()), nil
+	case "o-gehl":
+		return bfbp.NewGEHL(bfbp.GEHL64KB()), nil
+	case "strided":
+		return bfbp.NewStrided(bfbp.Strided64KB()), nil
+	case "perceptron":
+		return bfbp.NewPerceptron(bfbp.Perceptron64KB()), nil
+	case "oh-snap":
+		return bfbp.NewOHSNAP(bfbp.OHSNAP64KB()), nil
+	case "bf-neural":
+		return bfbp.NewBFNeural(bfbp.BFNeural64KB()), nil
+	}
+	var n int
+	switch {
+	case scan(name, "isl-tage-%d", &n):
+		return bfbp.NewTAGE(bfbp.ISLTAGE(n)), nil
+	case scan(name, "tage-%d", &n):
+		return bfbp.NewTAGE(bfbp.TAGEBare(n)), nil
+	case scan(name, "bf-isl-tage-%d", &n):
+		return bfbp.NewBFTAGE(bfbp.BFISLTAGE(n)), nil
+	case scan(name, "bf-tage-%d", &n):
+		return bfbp.NewBFTAGE(bfbp.BFTAGEBare(n)), nil
+	}
+	return nil, fmt.Errorf("analyze: unknown predictor %q", name)
+}
+
+func scan(s, format string, n *int) bool {
+	c, err := fmt.Sscanf(s, format, n)
+	return err == nil && c == 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Command bfsim runs branch predictors over traces and reports MPKI,
+// mimicking the CBP evaluation flow.
+//
+// Usage:
+//
+//	bfsim -p bf-neural -t SPEC03                 # synthetic trace by name
+//	bfsim -p bf-tage-10,isl-tage-15 -t SPEC03    # compare predictors
+//	bfsim -p tage-10 -f trace.bft                # trace from a file
+//	bfsim -p bf-neural -t SPEC03 -n 1000000      # trace length
+//	bfsim -p bf-tage-10 -t SERV3 -offenders 10   # top mispredicted PCs
+//	bfsim -p bf-tage-10 -t SPEC00 -tablehits     # provider histogram
+//	bfsim -p bf-neural -storage                  # storage budget only
+//	bfsim -list                                  # available predictors
+//
+// Predictor names: bimodal, gshare, local, tournament, yags, filter,
+// o-gehl, bf-gehl, strided, perceptron, perceptron-fhist, oh-snap,
+// tage-N, isl-tage-N (N in 4..15), bf-neural, bf-neural-32k,
+// bf-neural-fweights, bf-neural-ghist, bf-tage-N, bf-isl-tage-N
+// (N in 4..10). Use -list for the full set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bfbp"
+	"bfbp/internal/trace"
+)
+
+func main() {
+	var (
+		preds     = flag.String("p", "bf-neural", "comma-separated predictor names")
+		traceName = flag.String("t", "", "synthetic trace name (e.g. SPEC03)")
+		traceFile = flag.String("f", "", "trace file in BFT1 format")
+		branches  = flag.Int("n", 500_000, "dynamic branches for synthetic traces")
+		warmup    = flag.Int("warmup", -1, "warmup branches excluded from stats (-1 = 10%)")
+		delay     = flag.Int("delay", 0, "update delay in branches (pipeline model)")
+		offenders = flag.Int("offenders", 0, "print the top-N mispredicted PCs")
+		tableHits = flag.Bool("tablehits", false, "print the provider-table histogram")
+		storage   = flag.Bool("storage", false, "print the storage budget and exit")
+		list      = flag.Bool("list", false, "list available predictor names")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(predictorNames(), "\n"))
+		return
+	}
+
+	var mks []func() bfbp.Predictor
+	for _, name := range strings.Split(*preds, ",") {
+		mk, err := predictorByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		mks = append(mks, mk)
+	}
+
+	if *storage {
+		for _, mk := range mks {
+			p := mk()
+			if sa, ok := p.(bfbp.StorageAccounter); ok {
+				fmt.Print(sa.Storage().String())
+			} else {
+				fmt.Printf("%s: no storage accounting\n", p.Name())
+			}
+		}
+		return
+	}
+
+	var tr bfbp.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var cerr error
+		tr, cerr = trace.Collect(trace.NewFileReader(f))
+		if cerr != nil {
+			fatal(cerr)
+		}
+	case *traceName != "":
+		spec, ok := bfbp.TraceByName(*traceName)
+		if !ok {
+			fatal(fmt.Errorf("unknown trace %q (known: %s...)", *traceName, strings.Join(bfbp.TraceNames()[:5], ", ")))
+		}
+		tr = spec.GenerateN(*branches)
+	default:
+		fatal(fmt.Errorf("need -t <trace> or -f <file>"))
+	}
+
+	warm := uint64(*warmup)
+	if *warmup < 0 {
+		warm = uint64(len(tr) / 10)
+	}
+	fmt.Printf("%-18s %10s %12s %10s\n", "predictor", "MPKI", "mispredicts", "accuracy")
+	for _, mk := range mks {
+		p := mk()
+		st, err := bfbp.Run(p, tr.Stream(), bfbp.Options{
+			Warmup:      warm,
+			UpdateDelay: *delay,
+			PerPC:       *offenders > 0,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-18s %10.3f %12d %9.2f%%\n", p.Name(), st.MPKI(), st.Mispredicts, 100*st.Accuracy())
+		if *offenders > 0 {
+			for _, o := range st.TopOffenders(*offenders) {
+				fmt.Printf("    pc %#x: %d/%d mispredicted (%.1f%%)\n",
+					o.PC, o.Mispredicts, o.Count, 100*float64(o.Mispredicts)/float64(o.Count))
+			}
+		}
+		if *tableHits {
+			if th, ok := p.(bfbp.TableHitReporter); ok {
+				hits := th.TableHits()
+				var total uint64
+				for _, h := range hits {
+					total += h
+				}
+				fmt.Printf("    provider histogram (T0 = base):\n")
+				for i, h := range hits {
+					if total > 0 {
+						fmt.Printf("      T%-2d %8d (%.1f%%)\n", i, h, 100*float64(h)/float64(total))
+					}
+				}
+			}
+		}
+	}
+}
+
+func predictorNames() []string {
+	names := []string{
+		"bimodal", "gshare", "local", "tournament", "yags", "filter",
+		"o-gehl", "bf-gehl", "strided",
+		"perceptron", "perceptron-fhist", "oh-snap",
+		"bf-neural", "bf-neural-32k",
+		"bf-neural-fweights", "bf-neural-ghist",
+	}
+	for n := 4; n <= 15; n++ {
+		names = append(names, fmt.Sprintf("tage-%d", n), fmt.Sprintf("isl-tage-%d", n))
+	}
+	for n := 4; n <= 10; n++ {
+		names = append(names, fmt.Sprintf("bf-tage-%d", n), fmt.Sprintf("bf-isl-tage-%d", n))
+	}
+	return names
+}
+
+func predictorByName(name string) (func() bfbp.Predictor, error) {
+	switch name {
+	case "bimodal":
+		return func() bfbp.Predictor { return bfbp.NewBimodal(1 << 14) }, nil
+	case "gshare":
+		return func() bfbp.Predictor { return bfbp.NewGShare(1<<16, 16) }, nil
+	case "local":
+		return func() bfbp.Predictor { return bfbp.NewLocal(1<<12, 10, 1<<15) }, nil
+	case "perceptron":
+		return func() bfbp.Predictor { return bfbp.NewPerceptron(bfbp.Perceptron64KB()) }, nil
+	case "perceptron-fhist":
+		return func() bfbp.Predictor {
+			c := bfbp.Perceptron64KB()
+			c.FoldedHistory = true
+			return bfbp.NewPerceptron(c)
+		}, nil
+	case "oh-snap":
+		return func() bfbp.Predictor { return bfbp.NewOHSNAP(bfbp.OHSNAP64KB()) }, nil
+	case "tournament":
+		return func() bfbp.Predictor { return bfbp.NewTournament(bfbp.Tournament64KB()) }, nil
+	case "yags":
+		return func() bfbp.Predictor { return bfbp.NewYAGS(bfbp.YAGS64KB()) }, nil
+	case "filter":
+		return func() bfbp.Predictor { return bfbp.NewFilter(bfbp.Filter64KB()) }, nil
+	case "o-gehl":
+		return func() bfbp.Predictor { return bfbp.NewGEHL(bfbp.GEHL64KB()) }, nil
+	case "bf-gehl":
+		return func() bfbp.Predictor { return bfbp.NewBFGEHL(bfbp.BFGEHL64KB()) }, nil
+	case "strided":
+		return func() bfbp.Predictor { return bfbp.NewStrided(bfbp.Strided64KB()) }, nil
+	case "bf-neural":
+		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeural64KB()) }, nil
+	case "bf-neural-32k":
+		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeural32KB()) }, nil
+	case "bf-neural-fweights":
+		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeuralAblation(bfbp.BFModeFilterWeights)) }, nil
+	case "bf-neural-ghist":
+		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeuralAblation(bfbp.BFModeBiasFreeGHR)) }, nil
+	}
+	for _, pat := range []struct {
+		prefix string
+		lo, hi int
+		mk     func(n int) func() bfbp.Predictor
+	}{
+		{"isl-tage-", 4, 15, func(n int) func() bfbp.Predictor {
+			return func() bfbp.Predictor { return bfbp.NewTAGE(bfbp.ISLTAGE(n)) }
+		}},
+		{"tage-", 1, 15, func(n int) func() bfbp.Predictor {
+			return func() bfbp.Predictor { return bfbp.NewTAGE(bfbp.TAGEBare(n)) }
+		}},
+		{"bf-isl-tage-", 4, 10, func(n int) func() bfbp.Predictor {
+			return func() bfbp.Predictor { return bfbp.NewBFTAGE(bfbp.BFISLTAGE(n)) }
+		}},
+		{"bf-tage-", 4, 10, func(n int) func() bfbp.Predictor {
+			return func() bfbp.Predictor { return bfbp.NewBFTAGE(bfbp.BFTAGEBare(n)) }
+		}},
+	} {
+		if strings.HasPrefix(name, pat.prefix) {
+			n, err := strconv.Atoi(strings.TrimPrefix(name, pat.prefix))
+			if err != nil || n < pat.lo || n > pat.hi {
+				return nil, fmt.Errorf("bfsim: %q needs a table count in [%d,%d]", name, pat.lo, pat.hi)
+			}
+			return pat.mk(n), nil
+		}
+	}
+	return nil, fmt.Errorf("bfsim: unknown predictor %q (use -list)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsim:", err)
+	os.Exit(1)
+}

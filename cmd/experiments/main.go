@@ -1,0 +1,113 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§VI) on the synthetic trace suite.
+//
+// Usage:
+//
+//	experiments -fig 8                 # one figure
+//	experiments -fig 2,8,9,10,11,12    # several
+//	experiments -table 1               # Table I storage budget
+//	experiments -all                   # everything
+//	experiments -fig 8 -csv            # CSV output
+//	experiments -fig 8 -traces SPEC00,SPEC03
+//	experiments -fig 8 -long 2000000 -short 500000   # full-scale traces
+//
+// The -long/-short flags set the per-trace dynamic branch counts (the
+// paper used 15-30M and 3-5M; defaults here are laptop-scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bfbp/internal/experiments"
+)
+
+func main() {
+	var (
+		figs          = flag.String("fig", "", "comma-separated figure numbers to regenerate (2,8,9,10,11,12,13)")
+		table         = flag.Int("table", 0, "table number to regenerate (1)")
+		all           = flag.Bool("all", false, "regenerate every figure and table")
+		csv           = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		long          = flag.Int("long", 800_000, "dynamic branches per SPEC trace")
+		short         = flag.Int("short", 300_000, "dynamic branches per short trace")
+		traces        = flag.String("traces", "", "comma-separated trace subset (default: all 40)")
+		quiet         = flag.Bool("q", false, "suppress progress logging")
+		varianceTrace = flag.String("variance", "", "run a seed-variance study on the named trace")
+		seeds         = flag.Int("seeds", 5, "seed variants for -variance")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		LongBranches:  *long,
+		ShortBranches: *short,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	if *traces != "" {
+		cfg.TraceFilter = strings.Split(*traces, ",")
+	}
+
+	want := map[string]bool{}
+	if *all {
+		for _, f := range []string{"2", "8", "9", "10", "11", "12", "13"} {
+			want[f] = true
+		}
+		*table = 1
+	}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+	if len(want) == 0 && *table == 0 && *varianceTrace == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(t experiments.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	if want["2"] {
+		emit(experiments.Fig2(cfg))
+	}
+	if want["8"] {
+		emit(experiments.Fig8(cfg))
+	}
+	if want["9"] {
+		emit(experiments.Fig9(cfg))
+	}
+	if want["10"] {
+		emit(experiments.Fig10(cfg))
+	}
+	if want["11"] {
+		emit(experiments.Fig11(cfg))
+	}
+	if want["12"] {
+		names := experiments.Fig12Traces
+		if len(cfg.TraceFilter) > 0 {
+			names = cfg.TraceFilter
+		}
+		for _, name := range names {
+			emit(experiments.Fig12(cfg, name))
+		}
+	}
+	if want["13"] {
+		emit(experiments.Fig13(cfg))
+	}
+	if *varianceTrace != "" {
+		emit(experiments.Variance(cfg, *varianceTrace, *seeds))
+	}
+	if *table == 1 {
+		fmt.Println("Table I: storage budget of the 10-table BF-TAGE")
+		fmt.Print(experiments.Table1().String())
+		fmt.Printf("(paper total: 51100 bytes)\n\n")
+	}
+}

@@ -1,0 +1,30 @@
+// Biasprofile: reproduce the paper's Fig. 2 analysis — the fraction of
+// each benchmark trace contributed by completely biased branches, i.e.
+// branches that resolve the same way every single time. These are the
+// branches the Bias-Free predictor filters out of its history.
+//
+//	go run ./examples/biasprofile
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bfbp"
+)
+
+func main() {
+	fmt.Printf("%-8s %9s %9s %7s  %s\n", "trace", "dyn-bias", "stat-bias", "sites", "")
+	for _, spec := range bfbp.Traces() {
+		// A short prefix suffices for profiling.
+		tr := spec.GenerateN(80_000)
+		st, err := bfbp.ProfileBias(tr.Stream())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int(st.DynamicFraction()*40))
+		fmt.Printf("%-8s %8.1f%% %8.1f%% %7d  %s\n",
+			spec.Name, 100*st.DynamicFraction(), 100*st.StaticFraction(), st.StaticSites, bar)
+	}
+}

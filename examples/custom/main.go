@@ -1,0 +1,97 @@
+// Custom: implement your own branch predictor against the harness
+// interface and race it against the built-in ones. The example predictor
+// is a tiny "agree" hybrid: a bimodal base whose prediction is flipped
+// when a small gshare-style table has learned that this (PC, history)
+// context disagrees with the bias.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfbp"
+)
+
+// agreePredictor demonstrates the two-method predictor contract:
+// Predict is called first for every committed branch, then Update with
+// the resolved outcome. No other framework hooks are needed.
+type agreePredictor struct {
+	bias  []int8 // PC-indexed 2-bit bias
+	agree []int8 // (PC^GHR)-indexed 2-bit agree/disagree
+	ghr   uint64
+}
+
+func newAgree() *agreePredictor {
+	return &agreePredictor{
+		bias:  make([]int8, 1<<14),
+		agree: make([]int8, 1<<15),
+	}
+}
+
+func (a *agreePredictor) Name() string { return "agree-hybrid" }
+
+func (a *agreePredictor) biasIdx(pc uint64) uint64 { return (pc >> 2) & (1<<14 - 1) }
+func (a *agreePredictor) agreeIdx(pc uint64) uint64 {
+	return ((pc >> 2) ^ a.ghr) & (1<<15 - 1)
+}
+
+func (a *agreePredictor) Predict(pc uint64) bool {
+	base := a.bias[a.biasIdx(pc)] >= 0
+	if a.agree[a.agreeIdx(pc)] < 0 {
+		return !base
+	}
+	return base
+}
+
+func (a *agreePredictor) Update(pc uint64, taken bool, target uint64) {
+	bi := a.biasIdx(pc)
+	base := a.bias[bi] >= 0
+	ai := a.agreeIdx(pc)
+	// Train the agree table toward "did the base get it right here?".
+	a.agree[ai] = sat2(a.agree[ai], base == taken)
+	a.bias[bi] = sat2(a.bias[bi], taken)
+	a.ghr = a.ghr<<1 | b2u(taken)
+}
+
+func sat2(v int8, up bool) int8 {
+	if up {
+		if v < 1 {
+			return v + 1
+		}
+		return v
+	}
+	if v > -2 {
+		return v - 1
+	}
+	return v
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	spec, _ := bfbp.TraceByName("INT2")
+	tr := spec.GenerateN(150_000)
+
+	preds := []bfbp.Predictor{
+		newAgree(),
+		bfbp.NewBimodal(1 << 14),
+		bfbp.NewGShare(1<<15, 14),
+		bfbp.NewBFNeural(bfbp.BFNeural64KB()),
+	}
+	results, err := bfbp.RunAll(preds, func() bfbp.TraceReader { return tr.Stream() },
+		bfbp.Options{Warmup: 15_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %10s %10s\n", "predictor", "MPKI", "accuracy")
+	for _, r := range results {
+		fmt.Printf("%-14s %10.3f %9.2f%%\n", r.Predictor, r.Stats.MPKI(), 100*r.Stats.Accuracy())
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: evaluate the Bias-Free Neural predictor on one synthetic
+// benchmark trace and print its accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfbp"
+)
+
+func main() {
+	// Pick a benchmark trace from the 40-trace suite and synthesise
+	// 200K dynamic conditional branches.
+	spec, ok := bfbp.TraceByName("SPEC03")
+	if !ok {
+		log.Fatal("unknown trace")
+	}
+	tr := spec.GenerateN(200_000)
+
+	// Build the paper's 64KB BF-Neural predictor and run it. The first
+	// 10% of the trace warms the predictor without counting.
+	p := bfbp.NewBFNeural(bfbp.BFNeural64KB())
+	stats, err := bfbp.Run(p, tr.Stream(), bfbp.Options{Warmup: 20_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace      : %s (%d branches)\n", spec.Name, stats.Branches)
+	fmt.Printf("predictor  : %s\n", p.Name())
+	fmt.Printf("MPKI       : %.3f\n", stats.MPKI())
+	fmt.Printf("accuracy   : %.2f%%\n", 100*stats.Accuracy())
+
+	// Every predictor can itemise its hardware budget.
+	fmt.Printf("budget     : %d bytes\n", p.Storage().TotalBytes())
+}

@@ -1,0 +1,3 @@
+module bfbp
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package bst implements the Branch Status Table of the Bias-Free
+// predictor (paper §IV-B1, Fig. 5): a direct-mapped table of small finite
+// state machines that classify each static branch, on the fly, as
+// not-yet-seen, biased taken, biased not-taken, or non-biased.
+//
+// Three classifier variants are provided:
+//
+//   - the 2-bit FSM of the paper's feasibility study (the default),
+//   - a probabilistic 3-bit counter variant the paper advocates for a
+//     production design (it can revert non-biased branches back to biased
+//     when an application changes phase), and
+//   - a static profile-assisted Oracle built from a prior pass over the
+//     trace, used in §VI-D to recover SERV3/FP1/MM5 accuracy.
+package bst
+
+import (
+	"bfbp/internal/counters"
+	"bfbp/internal/rng"
+)
+
+// State is the detection FSM state for one table entry.
+type State uint8
+
+// The four FSM states of Fig. 5.
+const (
+	NotFound  State = iota // never committed
+	Taken                  // always resolved taken so far
+	NotTaken               // always resolved not-taken so far
+	NonBiased              // observed in both directions
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s State) String() string {
+	switch s {
+	case NotFound:
+		return "NotFound"
+	case Taken:
+		return "Taken"
+	case NotTaken:
+		return "NotTaken"
+	case NonBiased:
+		return "NonBiased"
+	default:
+		return "Invalid"
+	}
+}
+
+// Classifier is the interface the predictors consume. Lookup must be free
+// of side effects; Update is called once per committed branch.
+type Classifier interface {
+	// Lookup returns the current classification of pc.
+	Lookup(pc uint64) State
+	// Update advances the classification with a committed outcome.
+	Update(pc uint64, taken bool)
+	// StorageBits returns the hardware budget of the classifier.
+	StorageBits() int
+}
+
+// Table is the 2-bit-FSM Branch Status Table. Entries are direct-mapped and
+// untagged, exactly as in the paper's storage accounting (e.g. 16384
+// entries × 2 bits for BF-Neural, 8192 × 2 bits for BF-TAGE). Aliasing
+// between branches that map to the same entry is deliberate: it is part of
+// the design's cost model and the dynamic-detection perturbations discussed
+// in §VI-D.
+type Table struct {
+	states []State
+	mask   uint64
+}
+
+// NewTable returns a Table with the given number of entries, which must be
+// a power of two.
+func NewTable(entries int) *Table {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bst: entries must be a positive power of two")
+	}
+	return &Table{states: make([]State, entries), mask: uint64(entries - 1)}
+}
+
+func (t *Table) index(pc uint64) uint64 { return pc & t.mask }
+
+// Lookup returns the FSM state for pc's entry.
+func (t *Table) Lookup(pc uint64) State { return t.states[t.index(pc)] }
+
+// Update applies the Fig. 5 transitions: NotFound adopts the first outcome
+// as the biased direction; a biased state that observes the opposite
+// direction becomes NonBiased; NonBiased is terminal.
+func (t *Table) Update(pc uint64, taken bool) {
+	i := t.index(pc)
+	switch t.states[i] {
+	case NotFound:
+		if taken {
+			t.states[i] = Taken
+		} else {
+			t.states[i] = NotTaken
+		}
+	case Taken:
+		if !taken {
+			t.states[i] = NonBiased
+		}
+	case NotTaken:
+		if taken {
+			t.states[i] = NonBiased
+		}
+	case NonBiased:
+		// terminal
+	}
+}
+
+// StorageBits returns 2 bits per entry.
+func (t *Table) StorageBits() int { return 2 * len(t.states) }
+
+// Entries returns the table size.
+func (t *Table) Entries() int { return len(t.states) }
+
+// ProbTable is the probabilistic-counter Branch Status Table (§IV-B1).
+// Each entry holds the currently assumed bias direction plus a 3-bit
+// probabilistic confidence counter. Outcomes matching the assumed direction
+// attempt a probabilistic increment; a contrary outcome decrements the
+// counter, and only when confidence has drained to zero does the entry
+// flip classification. High confidence (saturated counter) marks the
+// branch biased; anything below the bias threshold is treated as
+// non-biased. Unlike the 2-bit FSM, a long biased phase can therefore
+// reclassify a branch from non-biased back to biased.
+type ProbTable struct {
+	dir       []bool
+	seen      []bool
+	conf      []counters.Probabilistic
+	mask      uint64
+	biasAbove uint32
+}
+
+// NewProbTable returns a probabilistic BST with the given power-of-two
+// entry count. Confidence counters are 3-bit with growth exponent 2, so
+// saturation represents on the order of a thousand consistent outcomes.
+func NewProbTable(entries int, seed uint64) *ProbTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bst: entries must be a positive power of two")
+	}
+	r := rng.New(seed)
+	t := &ProbTable{
+		dir:       make([]bool, entries),
+		seen:      make([]bool, entries),
+		conf:      make([]counters.Probabilistic, entries),
+		mask:      uint64(entries - 1),
+		biasAbove: 2,
+	}
+	for i := range t.conf {
+		t.conf[i] = counters.NewProbabilistic(3, 2, r)
+	}
+	return t
+}
+
+// Lookup classifies pc: unknown entries are NotFound, high-confidence
+// entries report their bias direction, low-confidence entries are
+// NonBiased.
+func (t *ProbTable) Lookup(pc uint64) State {
+	i := pc & t.mask
+	if !t.seen[i] {
+		return NotFound
+	}
+	if t.conf[i].Value() > t.biasAbove {
+		if t.dir[i] {
+			return Taken
+		}
+		return NotTaken
+	}
+	return NonBiased
+}
+
+// Update trains the entry with a committed outcome.
+func (t *ProbTable) Update(pc uint64, taken bool) {
+	i := pc & t.mask
+	if !t.seen[i] {
+		t.seen[i] = true
+		t.dir[i] = taken
+		// Jump-start confidence so a branch starts out biased, matching
+		// the FSM's behaviour of predicting the first observed direction.
+		t.conf[i].Inc()
+		t.conf[i].Inc()
+		t.conf[i].Inc()
+		return
+	}
+	if taken == t.dir[i] {
+		t.conf[i].Inc()
+		return
+	}
+	if t.conf[i].Value() == 0 {
+		// Confidence exhausted: flip the assumed direction.
+		t.dir[i] = taken
+		return
+	}
+	t.conf[i].Dec()
+}
+
+// StorageBits returns 3 confidence bits + 1 direction bit + 1 valid bit
+// per entry.
+func (t *ProbTable) StorageBits() int { return 5 * len(t.dir) }
+
+// Oracle is the static profile-assisted classifier of §VI-D: branch bias
+// is decided by a profiling pre-pass over the whole trace, so dynamic
+// detection transients disappear. Branches never observed in the profile
+// report NotFound.
+type Oracle struct {
+	class map[uint64]State
+}
+
+// NewOracle builds an oracle from profiled per-PC outcome counts.
+// A branch is biased only if every profiled dynamic instance resolved in
+// one direction ("completely biased", §I footnote).
+func NewOracle() *Oracle { return &Oracle{class: make(map[uint64]State)} }
+
+// Observe adds one profiled outcome for pc.
+func (o *Oracle) Observe(pc uint64, taken bool) {
+	switch o.class[pc] {
+	case NotFound:
+		if taken {
+			o.class[pc] = Taken
+		} else {
+			o.class[pc] = NotTaken
+		}
+	case Taken:
+		if !taken {
+			o.class[pc] = NonBiased
+		}
+	case NotTaken:
+		if taken {
+			o.class[pc] = NonBiased
+		}
+	}
+}
+
+// Lookup returns the profiled classification.
+func (o *Oracle) Lookup(pc uint64) State { return o.class[pc] }
+
+// Update is a no-op: the oracle is static. It still satisfies Classifier
+// so predictors can swap it in without special cases.
+func (o *Oracle) Update(pc uint64, taken bool) {}
+
+// StorageBits reports zero: profile-assisted classification is metadata
+// delivered by software (e.g. via binary annotations), not predictor SRAM.
+func (o *Oracle) StorageBits() int { return 0 }
+
+var (
+	_ Classifier = (*Table)(nil)
+	_ Classifier = (*ProbTable)(nil)
+	_ Classifier = (*Oracle)(nil)
+)

@@ -1,0 +1,221 @@
+package bst
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableFSMTransitions(t *testing.T) {
+	b := NewTable(16)
+	pc := uint64(3)
+	if b.Lookup(pc) != NotFound {
+		t.Fatal("fresh entry should be NotFound")
+	}
+	b.Update(pc, true)
+	if b.Lookup(pc) != Taken {
+		t.Fatal("first taken outcome should move to Taken")
+	}
+	b.Update(pc, true)
+	if b.Lookup(pc) != Taken {
+		t.Fatal("repeated taken should stay Taken")
+	}
+	b.Update(pc, false)
+	if b.Lookup(pc) != NonBiased {
+		t.Fatal("contrary outcome should move to NonBiased")
+	}
+	b.Update(pc, true)
+	b.Update(pc, false)
+	if b.Lookup(pc) != NonBiased {
+		t.Fatal("NonBiased must be terminal for the 2-bit FSM")
+	}
+}
+
+func TestTableNotTakenPath(t *testing.T) {
+	b := NewTable(16)
+	b.Update(7, false)
+	if b.Lookup(7) != NotTaken {
+		t.Fatal("first not-taken outcome should move to NotTaken")
+	}
+	b.Update(7, true)
+	if b.Lookup(7) != NonBiased {
+		t.Fatal("contrary outcome should move to NonBiased")
+	}
+}
+
+func TestTableAliasing(t *testing.T) {
+	b := NewTable(8)
+	// PCs 1 and 9 share entry 1 in an 8-entry direct-mapped table.
+	b.Update(1, true)
+	if b.Lookup(9) != Taken {
+		t.Fatal("aliased PC should observe the shared entry state")
+	}
+	b.Update(9, false)
+	if b.Lookup(1) != NonBiased {
+		t.Fatal("aliasing should be able to force NonBiased")
+	}
+}
+
+func TestTablePowerOfTwoPanic(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d) did not panic", n)
+				}
+			}()
+			NewTable(n)
+		}()
+	}
+}
+
+// Property: for a dedicated entry, the FSM reports a biased state iff all
+// outcomes so far agree, and NonBiased iff both directions were seen.
+func TestTableMatchesSpecProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		b := NewTable(2) // pc 0 only; single dedicated entry
+		sawT, sawNT := false, false
+		for _, taken := range outcomes {
+			b.Update(0, taken)
+			if taken {
+				sawT = true
+			} else {
+				sawNT = true
+			}
+			got := b.Lookup(0)
+			switch {
+			case sawT && sawNT:
+				if got != NonBiased {
+					return false
+				}
+			case sawT:
+				if got != Taken {
+					return false
+				}
+			case sawNT:
+				if got != NotTaken {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableStorage(t *testing.T) {
+	if got := NewTable(16384).StorageBits(); got != 32768 {
+		t.Fatalf("16384-entry BST = %d bits, want 32768 (paper: 2048 bytes at 8192 entries)", got)
+	}
+	if got := NewTable(8192).StorageBits(); got != 16384 {
+		t.Fatalf("8192-entry BST = %d bits, want 16384", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{NotFound: "NotFound", Taken: "Taken", NotTaken: "NotTaken", NonBiased: "NonBiased", State(9): "Invalid"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
+
+func TestProbTableBasicBias(t *testing.T) {
+	b := NewProbTable(16, 1)
+	for i := 0; i < 50; i++ {
+		b.Update(5, true)
+	}
+	if b.Lookup(5) != Taken {
+		t.Fatalf("consistently-taken branch = %v, want Taken", b.Lookup(5))
+	}
+}
+
+func TestProbTableBecomesNonBiased(t *testing.T) {
+	b := NewProbTable(16, 2)
+	for i := 0; i < 50; i++ {
+		b.Update(5, i%2 == 0)
+	}
+	if b.Lookup(5) != NonBiased {
+		t.Fatalf("alternating branch = %v, want NonBiased", b.Lookup(5))
+	}
+}
+
+func TestProbTableRevertsAfterPhaseChange(t *testing.T) {
+	// The whole point of the probabilistic BST: after a long new phase in
+	// one direction, a formerly non-biased branch becomes biased again.
+	b := NewProbTable(16, 3)
+	for i := 0; i < 40; i++ {
+		b.Update(5, i%2 == 0) // phase 1: alternating -> non-biased
+	}
+	if b.Lookup(5) != NonBiased {
+		t.Fatalf("after phase 1: %v, want NonBiased", b.Lookup(5))
+	}
+	for i := 0; i < 100000; i++ {
+		b.Update(5, true) // phase 2: long biased run
+	}
+	if got := b.Lookup(5); got != Taken {
+		t.Fatalf("after long taken phase: %v, want Taken", got)
+	}
+}
+
+func TestProbTableNotFound(t *testing.T) {
+	b := NewProbTable(16, 4)
+	if b.Lookup(1) != NotFound {
+		t.Fatal("fresh probabilistic entry should be NotFound")
+	}
+}
+
+func TestProbTableDeterministic(t *testing.T) {
+	a, b := NewProbTable(64, 9), NewProbTable(64, 9)
+	for i := 0; i < 5000; i++ {
+		pc := uint64(i % 40)
+		taken := i%3 == 0
+		a.Update(pc, taken)
+		b.Update(pc, taken)
+		if a.Lookup(pc) != b.Lookup(pc) {
+			t.Fatalf("same-seed prob tables diverged at step %d", i)
+		}
+	}
+}
+
+func TestOracleClassification(t *testing.T) {
+	o := NewOracle()
+	o.Observe(1, true)
+	o.Observe(1, true)
+	o.Observe(2, true)
+	o.Observe(2, false)
+	o.Observe(3, false)
+	if o.Lookup(1) != Taken {
+		t.Fatalf("pc1 = %v, want Taken", o.Lookup(1))
+	}
+	if o.Lookup(2) != NonBiased {
+		t.Fatalf("pc2 = %v, want NonBiased", o.Lookup(2))
+	}
+	if o.Lookup(3) != NotTaken {
+		t.Fatalf("pc3 = %v, want NotTaken", o.Lookup(3))
+	}
+	if o.Lookup(99) != NotFound {
+		t.Fatalf("unprofiled pc = %v, want NotFound", o.Lookup(99))
+	}
+}
+
+func TestOracleUpdateIsNoop(t *testing.T) {
+	o := NewOracle()
+	o.Observe(1, true)
+	o.Update(1, false) // dynamic outcomes must not change a static profile
+	if o.Lookup(1) != Taken {
+		t.Fatal("Oracle.Update changed classification")
+	}
+}
+
+func TestOracleNoAliasing(t *testing.T) {
+	// Unlike the hardware tables the oracle is exact: PCs never alias.
+	o := NewOracle()
+	o.Observe(1, true)
+	o.Observe(1+8192, false)
+	if o.Lookup(1) != Taken || o.Lookup(1+8192) != NotTaken {
+		t.Fatal("oracle aliased distinct PCs")
+	}
+}

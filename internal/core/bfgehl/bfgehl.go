@@ -1,0 +1,243 @@
+// Package bfgehl applies the paper's bias-free history to an O-GEHL-style
+// predictor — the natural third instantiation after BF-Neural and
+// BF-TAGE. The paper argues (§V) that a bias-free global history register
+// lets a TAGE reach deep correlations with fewer tables; the same BF-GHR
+// can index GEHL's summed weight tables, giving a tagless predictor whose
+// geometric history lengths are measured in compressed (bias-free) bits.
+//
+// This is an extension beyond the paper's evaluated designs, included to
+// demonstrate that the BF-GHR is a reusable substrate: the predictor
+// composes internal/rs.Segmented (Fig. 7) with gehl-style adder trees.
+package bfgehl
+
+import (
+	"bfbp/internal/bst"
+	"bfbp/internal/history"
+	"bfbp/internal/rng"
+	"bfbp/internal/rs"
+	"bfbp/internal/sim"
+)
+
+// Config parameterises BF-GEHL.
+type Config struct {
+	Name string
+	// Tables is the number of weight tables; table 0 is PC-indexed.
+	Tables int
+	// LogEntries is log2 of each table's entry count.
+	LogEntries int
+	// Hists are the per-table BF-GHR lengths for tables 1..Tables-1
+	// (nil = geometric from 2 to the BF-GHR width).
+	Hists []int
+	// UnfilteredBits, SegBounds, SegSize configure the BF-GHR exactly as
+	// in BF-TAGE.
+	UnfilteredBits int
+	SegBounds      []int
+	SegSize        int
+	// BSTEntries sizes the Branch Status Table.
+	BSTEntries int
+	// CounterBits is the weight width.
+	CounterBits int
+}
+
+// Default64KB is an 8-table ~64KB BF-GEHL over the paper's segmentation.
+func Default64KB() Config {
+	return Config{
+		Tables:         8,
+		LogEntries:     13,
+		UnfilteredBits: 16,
+		SegBounds:      []int{16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512, 768, 1024, 1280, 1536, 2048},
+		SegSize:        8,
+		BSTEntries:     8192,
+		CounterBits:    5,
+	}
+}
+
+type checkpoint struct {
+	pc   uint64
+	sum  int32
+	idxs []uint32
+}
+
+// Predictor is a BF-GEHL predictor.
+type Predictor struct {
+	cfg     Config
+	tables  [][]int8
+	mask    uint64
+	hists   []int
+	class   bst.Classifier
+	seg     *rs.Segmented
+	wMax    int8
+	wMin    int8
+	theta   int32
+	tc      int32
+	pending []checkpoint
+	idxBuf  []uint32
+	bitsBuf []bool
+}
+
+// New returns a BF-GEHL predictor for cfg.
+func New(cfg Config) *Predictor {
+	if cfg.Tables < 2 {
+		panic("bfgehl: need at least two tables")
+	}
+	if cfg.LogEntries < 4 || cfg.LogEntries > 22 {
+		panic("bfgehl: LogEntries out of range")
+	}
+	if cfg.CounterBits < 2 || cfg.CounterBits > 8 {
+		panic("bfgehl: CounterBits out of range")
+	}
+	if cfg.BSTEntries <= 0 || cfg.BSTEntries&(cfg.BSTEntries-1) != 0 {
+		panic("bfgehl: BSTEntries must be a positive power of two")
+	}
+	p := &Predictor{
+		cfg:   cfg,
+		mask:  uint64(1<<cfg.LogEntries - 1),
+		seg:   rs.NewSegmented(cfg.SegBounds, cfg.SegSize),
+		class: bst.NewTable(cfg.BSTEntries),
+		wMax:  int8(1<<(cfg.CounterBits-1) - 1),
+		wMin:  int8(-(1 << (cfg.CounterBits - 1))),
+		theta: int32(cfg.Tables),
+	}
+	p.tables = make([][]int8, cfg.Tables)
+	for i := range p.tables {
+		p.tables[i] = make([]int8, 1<<cfg.LogEntries)
+	}
+	ghrBits := cfg.UnfilteredBits + p.seg.Bits()
+	if cfg.Hists != nil {
+		p.hists = append([]int{0}, cfg.Hists...)
+	} else {
+		p.hists = append([]int{0}, history.GeometricRange(2, ghrBits, cfg.Tables-1)...)
+	}
+	for _, h := range p.hists[1:] {
+		if h > ghrBits {
+			panic("bfgehl: history length exceeds BF-GHR width")
+		}
+	}
+	return p
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	return "bf-gehl"
+}
+
+// GHRBits returns the BF-GHR width.
+func (p *Predictor) GHRBits() int { return p.cfg.UnfilteredBits + p.seg.Bits() }
+
+func (p *Predictor) buildGHR() []bool {
+	p.bitsBuf = p.bitsBuf[:0]
+	ring := p.seg.Ring()
+	for d := 1; d <= p.cfg.UnfilteredBits; d++ {
+		e, ok := ring.At(d)
+		p.bitsBuf = append(p.bitsBuf, ok && e.Taken)
+	}
+	p.bitsBuf = p.seg.AppendBFGHR(p.bitsBuf)
+	return p.bitsBuf
+}
+
+func (p *Predictor) compute(pc uint64) int32 {
+	if cap(p.idxBuf) < len(p.tables) {
+		p.idxBuf = make([]uint32, len(p.tables))
+	}
+	p.idxBuf = p.idxBuf[:len(p.tables)]
+	bits := p.buildGHR()
+	pch := rng.Hash64(pc >> 2)
+	var sum int32
+	for i := range p.tables {
+		var key uint64
+		if i == 0 {
+			key = pch
+		} else {
+			key = pch ^ history.FoldBits(bits[:p.hists[i]], p.cfg.LogEntries)<<3 ^ uint64(i)<<57
+		}
+		idx := uint32(rng.Hash64(key) & p.mask)
+		p.idxBuf[i] = idx
+		sum += 2*int32(p.tables[i][idx]) + 1
+	}
+	return sum
+}
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	sum := p.compute(pc)
+	cp := checkpoint{pc: pc, sum: sum}
+	cp.idxs = append(cp.idxs, p.idxBuf...)
+	p.pending = append(p.pending, cp)
+	return sum >= 0
+}
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	var cp checkpoint
+	if len(p.pending) > 0 && p.pending[0].pc == pc {
+		cp = p.pending[0]
+		p.pending = p.pending[1:]
+	} else {
+		cp = checkpoint{pc: pc, sum: p.compute(pc)}
+		cp.idxs = append(cp.idxs, p.idxBuf...)
+	}
+	pred := cp.sum >= 0
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		for i, idx := range cp.idxs {
+			w := p.tables[i][idx]
+			if taken {
+				if w < p.wMax {
+					p.tables[i][idx] = w + 1
+				}
+			} else if w > p.wMin {
+				p.tables[i][idx] = w - 1
+			}
+		}
+		p.adaptTheta(pred != taken, mag)
+	}
+	// Commit into the BF-GHR with the branch's bias classification.
+	p.class.Update(pc, taken)
+	p.seg.Commit(history.Entry{
+		HashedPC:  uint32(rng.Hash64(pc>>2) & 0x3FFF),
+		Taken:     taken,
+		NonBiased: p.class.Lookup(pc) == bst.NonBiased,
+	})
+}
+
+func (p *Predictor) adaptTheta(mispred bool, mag int32) {
+	if mispred {
+		p.tc++
+		if p.tc >= 32 {
+			p.theta++
+			p.tc = 0
+		}
+	} else if mag <= p.theta {
+		p.tc--
+		if p.tc <= -32 {
+			if p.theta > 1 {
+				p.theta--
+			}
+			p.tc = 0
+		}
+	}
+}
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	return sim.Breakdown{
+		Name: p.Name(),
+		Components: []sim.Component{
+			{Name: "weight tables", Bits: p.cfg.Tables * p.cfg.CounterBits << uint(p.cfg.LogEntries)},
+			{Name: "BST", Bits: p.class.StorageBits()},
+			{Name: "segmented RS", Bits: p.seg.StorageBits()},
+			{Name: "unfiltered history", Bits: 2048 * 16},
+		},
+	}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

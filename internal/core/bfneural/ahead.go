@@ -1,0 +1,23 @@
+package bfneural
+
+// Ahead-pipelined BF-Neural: the paper's §VIII sketches the future-work
+// implementation — use the ahead-pipelining technique of piecewise-linear
+// prediction "in conjunction with not including the branch PC in row
+// index computation". Removing the current PC from the weight-row hashes
+// lets the accumulator for the *next* branch start several cycles early,
+// from history alone; the PC arrives late and only selects among a small
+// set of pre-computed sums (here: the bias weight and final thresholding).
+//
+// This file implements that variant as a Config switch so its accuracy
+// cost can be measured (BenchmarkAblationAheadPipelined): the correlating
+// hashes lose the PC's disambiguation, so aliasing between branches that
+// share history contexts increases — the price of latency tolerance.
+
+// AheadPipelined returns the §VIII ahead-pipelined configuration at the
+// 64KB scale: identical to Default64KB except that weight-row indices are
+// computed without the current branch PC.
+func AheadPipelined() Config {
+	c := Default64KB()
+	c.AheadPipelined = true
+	return c
+}

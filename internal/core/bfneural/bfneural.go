@@ -1,0 +1,562 @@
+// Package bfneural implements the Bias-Free Neural predictor of the paper
+// (§IV, Algorithms 2 and 3): a neural predictor that
+//
+//   - classifies branches on the fly with a Branch Status Table (BST) and
+//     predicts completely biased branches with their recorded direction,
+//     excluding them from perceptron prediction and training;
+//   - keeps a conventional perceptron component over the ht most recent
+//     *unfiltered* history bits (the 2-D weight table Wm), which rescues
+//     strongly biased-leaning branches during training (§IV-B2);
+//   - keeps a recency stack (RS) of the most recent occurrence of each
+//     non-biased branch, with its positional history (pos_hist), and
+//     correlates through a one-dimensional weight table Wrs indexed by a
+//     hash of the current PC, the stack entry's address, its quantized
+//     distance, and the folded global history (§IV-A, §IV-B2); and
+//   - optionally consults a loop-count predictor for constant-trip loops.
+//
+// The Mode switch reproduces the ablation of the paper's Fig. 9: filtering
+// only the weight tables, filtering the history (without the recency
+// stack), and the full recency-stack design.
+package bfneural
+
+import (
+	"bfbp/internal/bst"
+	"bfbp/internal/history"
+	"bfbp/internal/looppred"
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+)
+
+// Mode selects the history-filtering level (the Fig. 9 ablation).
+type Mode int
+
+const (
+	// ModeFilterWeights gates prediction/training by the BST but leaves
+	// the global history unfiltered ("BF-Neural (fhist)" in Fig. 9): the
+	// perceptron runs over RecentUnfiltered history positions only.
+	ModeFilterWeights Mode = iota
+	// ModeBiasFreeGHR additionally filters biased branches out of the
+	// global history register, but keeps every dynamic instance of
+	// non-biased branches ("ghist bias-free + fhist").
+	ModeBiasFreeGHR
+	// ModeFull adds the recency stack: only the most recent occurrence
+	// of each non-biased branch, with positional history ("ghist
+	// bias-free + RS + fhist"). This is the BF-Neural predictor.
+	ModeFull
+)
+
+// Config parameterises BF-Neural.
+type Config struct {
+	Name string
+	// Mode selects the filtering level (default ModeFull).
+	Mode Mode
+	// BSTEntries is the Branch Status Table size (16384 in §VI-B).
+	BSTEntries int
+	// Classifier overrides the default 2-bit-FSM BST (e.g. a
+	// probabilistic table or a static oracle, §VI-D).
+	Classifier bst.Classifier
+	// BiasEntries is the bias weight table Wb size.
+	BiasEntries int
+	// WmRows is the row count of the 2-D recent-history table Wm
+	// (1024 in §VI-B).
+	WmRows int
+	// RecentUnfiltered is ht, the recent unfiltered positions covered by
+	// Wm (16 in the practical design; 72 in ModeFilterWeights to mirror
+	// the Fig. 9 bar).
+	RecentUnfiltered int
+	// WrsEntries is the 1-D weight table size (65536 in §VI-B).
+	WrsEntries int
+	// RSDepth is the recency stack depth (48 in §VI-B); in
+	// ModeBiasFreeGHR it is the filtered shift-register depth.
+	RSDepth int
+	// DistBits caps pos_hist distances at 2^DistBits-1.
+	DistBits int
+	// FoldWidth is the folded-history hash width.
+	FoldWidth int
+	// LoopPredictor enables the 64-entry 4-way loop component (§IV-B2).
+	LoopPredictor bool
+	// NotFoundPrediction is the direction guessed for never-seen
+	// branches (Algorithm 2's "taken/not_taken"); false = not taken.
+	NotFoundPrediction bool
+	// AheadPipelined removes the current branch PC from the correlating
+	// weight-row hashes (§VIII future work): the dot product can then be
+	// computed ahead of time from history alone, with the PC selecting
+	// only the bias weight at the last moment. Costs some accuracy to
+	// cross-branch aliasing.
+	AheadPipelined bool
+}
+
+// Default64KB is the paper's §VI-B configuration: BST 16384, Wm 1024x16,
+// Wrs 65536, RS depth 48, with the loop predictor.
+func Default64KB() Config {
+	return Config{
+		Mode:             ModeFull,
+		BSTEntries:       16384,
+		BiasEntries:      1 << 12,
+		WmRows:           1024,
+		RecentUnfiltered: 16,
+		WrsEntries:       1 << 16,
+		RSDepth:          48,
+		DistBits:         12,
+		FoldWidth:        12,
+		LoopPredictor:    true,
+	}
+}
+
+// Default32KB is the paper's 32KB configuration (2.73 MPKI in §VI-B).
+func Default32KB() Config {
+	c := Default64KB()
+	c.BSTEntries = 8192
+	c.WmRows = 512
+	c.WrsEntries = 1 << 15
+	c.BiasEntries = 1 << 11
+	return c
+}
+
+// Ablation returns the Fig. 9 configuration for the given mode at the
+// 64KB scale: ModeFilterWeights runs the conventional 72-deep unfiltered
+// perceptron with BST gating; ModeBiasFreeGHR filters the history without
+// a recency stack; ModeFull is BF-Neural.
+func Ablation(mode Mode) Config {
+	c := Default64KB()
+	c.Mode = mode
+	if mode == ModeFilterWeights {
+		c.RecentUnfiltered = 72
+		c.RSDepth = 0
+		c.WmRows = 512
+		c.WrsEntries = 2 // unused; keep tiny
+	}
+	return c
+}
+
+// weights are 6-bit in the storage budget; clamp accordingly.
+const (
+	wMax = 31
+	wMin = -32
+)
+
+// filtered history entry (bias-free GHR / recency stack element).
+type fentry struct {
+	hpc   uint32
+	taken bool
+	seq   uint64
+}
+
+type checkpoint struct {
+	pc       uint64
+	state    bst.State
+	accum    int32
+	wmRows   []int32 // flat Wm indices, -1 when unpopulated
+	wmDirs   []bool
+	wrsIdxs  []int32
+	wrsDirs  []bool
+	loopPred bool
+	loopOK   bool
+	pred     bool // the perceptron/bias decision before loop override
+	final    bool
+}
+
+// Predictor is the BF-Neural predictor.
+type Predictor struct {
+	cfg Config
+
+	class bst.Classifier
+	wb    []int8
+	wm    []int8 // WmRows x RecentUnfiltered
+	wrs   []int8
+
+	biasMask uint64
+	wmMask   uint64
+	wrsMask  uint64
+
+	folds *history.FoldSet // unfiltered outcome history + folds
+	seq   uint64           // global committed-branch counter
+
+	// Filtered history: ModeFull keeps a recency stack (unique PCs),
+	// ModeBiasFreeGHR a shift register with duplicates. Both store
+	// newest-first in filt.
+	filt []fentry
+
+	loop     *looppred.Predictor
+	withLoop int32
+
+	theta   int32
+	tc      int32
+	pending []checkpoint
+	distCap uint64
+}
+
+// New returns a BF-Neural predictor for cfg.
+func New(cfg Config) *Predictor {
+	if cfg.BSTEntries <= 0 || cfg.BSTEntries&(cfg.BSTEntries-1) != 0 {
+		panic("bfneural: BSTEntries must be a positive power of two")
+	}
+	if cfg.BiasEntries <= 0 || cfg.BiasEntries&(cfg.BiasEntries-1) != 0 {
+		panic("bfneural: BiasEntries must be a positive power of two")
+	}
+	if cfg.WmRows <= 0 || cfg.WmRows&(cfg.WmRows-1) != 0 {
+		panic("bfneural: WmRows must be a positive power of two")
+	}
+	if cfg.WrsEntries <= 0 || cfg.WrsEntries&(cfg.WrsEntries-1) != 0 {
+		panic("bfneural: WrsEntries must be a positive power of two")
+	}
+	if cfg.RecentUnfiltered < 0 || cfg.RSDepth < 0 || cfg.RecentUnfiltered+cfg.RSDepth == 0 {
+		panic("bfneural: history geometry invalid")
+	}
+	if cfg.FoldWidth == 0 {
+		cfg.FoldWidth = 12
+	}
+	if cfg.DistBits == 0 {
+		cfg.DistBits = 12
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		wb:       make([]int8, cfg.BiasEntries),
+		wm:       make([]int8, cfg.WmRows*maxInt(cfg.RecentUnfiltered, 1)),
+		wrs:      make([]int8, cfg.WrsEntries),
+		biasMask: uint64(cfg.BiasEntries - 1),
+		wmMask:   uint64(cfg.WmRows - 1),
+		wrsMask:  uint64(cfg.WrsEntries - 1),
+		distCap:  1<<uint(cfg.DistBits) - 1,
+		// A deliberately small initial threshold: most of this
+		// predictor's inputs are single high-confidence stack entries
+		// rather than dozens of weak unfiltered correlations, so confident
+		// correct states should freeze quickly; the adaptive loop raises
+		// theta where more training is needed.
+		theta: 24,
+	}
+	if cfg.Classifier != nil {
+		p.class = cfg.Classifier
+	} else {
+		p.class = bst.NewTable(cfg.BSTEntries)
+	}
+	p.folds = history.NewFoldSet(foldLengths(), cfg.FoldWidth, 4096)
+	if cfg.LoopPredictor {
+		p.loop = looppred.NewDefault()
+	}
+	return p
+}
+
+// foldLengths is the fixed bank of folded-history registers: dense for
+// recent history, geometric out to 2048 branches.
+func foldLengths() []int {
+	return []int{1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 64, 91, 128,
+		181, 256, 362, 512, 724, 1024, 1448, 2048}
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	switch p.cfg.Mode {
+	case ModeFilterWeights:
+		return "bf-neural(fhist)"
+	case ModeBiasFreeGHR:
+		return "bf-neural(ghist)"
+	default:
+		return "bf-neural"
+	}
+}
+
+// quantDist quantizes a pos_hist distance for hashing: exact below 64
+// (loop-positional patterns like Fig. 4 need every iteration separated),
+// floating-point-style with a 6-bit mantissa above (distant correlations
+// tolerate a few percent of positional jitter, and coarsening them keeps
+// the Wrs working set small).
+func quantDist(d uint64) uint64 {
+	if d < 64 {
+		return d
+	}
+	shift := uint(0)
+	for v := d; v >= 64; v >>= 1 {
+		shift++
+	}
+	return (d >> shift) << shift
+}
+
+// compute evaluates the perceptron sum for a non-biased pc, filling the
+// checkpoint's index lists.
+func (p *Predictor) compute(pc uint64, cp *checkpoint) {
+	var pch uint64
+	if !p.cfg.AheadPipelined {
+		pch = rng.Hash64(pc >> 2)
+	}
+	accum := int32(p.wb[(pc>>2)&p.biasMask])
+
+	// Conventional component over recent unfiltered history (Wm).
+	ht := p.cfg.RecentUnfiltered
+	cp.wmRows = cp.wmRows[:0]
+	cp.wmDirs = cp.wmDirs[:0]
+	ring := p.folds.Ring()
+	for i := 1; i <= ht; i++ {
+		e, ok := ring.At(i)
+		if !ok {
+			cp.wmRows = append(cp.wmRows, -1)
+			cp.wmDirs = append(cp.wmDirs, false)
+			continue
+		}
+		key := pch ^ uint64(e.HashedPC)*0x9e3779b97f4a7c15 ^ p.folds.Fold(i)<<17 ^ uint64(i)<<40
+		row := int32(rng.Hash64(key)&p.wmMask)*int32(ht) + int32(i-1)
+		cp.wmRows = append(cp.wmRows, row)
+		cp.wmDirs = append(cp.wmDirs, e.Taken)
+		w := int32(p.wm[row])
+		if e.Taken {
+			accum += w
+		} else {
+			accum -= w
+		}
+	}
+
+	// Recency-stack component (Wrs).
+	cp.wrsIdxs = cp.wrsIdxs[:0]
+	cp.wrsDirs = cp.wrsDirs[:0]
+	for j := range p.filt {
+		e := &p.filt[j]
+		dist := p.seq - e.seq
+		if dist > p.distCap {
+			dist = p.distCap
+		}
+		var key uint64
+		if p.cfg.Mode == ModeFull {
+			// §IV-B2: hash(pc, A, pos_hist, folded history up to the
+			// entry) — no relative depth, so previously detected
+			// non-biased branches never relearn when depths shift.
+			q := quantDist(dist)
+			key = pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ q<<28 ^ p.folds.Fold(int(dist))<<9
+		} else {
+			// Idealized/ghist variant: relative depth selects the
+			// context (Algorithm 1 style).
+			key = pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ uint64(j)<<28 ^ p.folds.Fold(int(dist))<<9
+		}
+		idx := int32(rng.Hash64(key) & p.wrsMask)
+		cp.wrsIdxs = append(cp.wrsIdxs, idx)
+		cp.wrsDirs = append(cp.wrsDirs, e.taken)
+		w := int32(p.wrs[idx])
+		if e.taken {
+			accum += w
+		} else {
+			accum -= w
+		}
+	}
+	cp.accum = accum
+}
+
+// Predict implements sim.Predictor (Algorithm 2).
+func (p *Predictor) Predict(pc uint64) bool {
+	cp := checkpoint{pc: pc, state: p.class.Lookup(pc)}
+	switch cp.state {
+	case bst.NotFound:
+		cp.pred = p.cfg.NotFoundPrediction
+	case bst.Taken:
+		cp.pred = true
+	case bst.NotTaken:
+		cp.pred = false
+	default:
+		p.compute(pc, &cp)
+		cp.pred = cp.accum >= 0
+	}
+	cp.final = cp.pred
+	if p.loop != nil {
+		lp, ok := p.loop.Predict(pc)
+		cp.loopPred, cp.loopOK = lp, ok
+		if ok && p.withLoop >= 0 {
+			cp.final = lp
+		}
+	}
+	p.pending = append(p.pending, cp)
+	return cp.final
+}
+
+// Update implements sim.Predictor (Algorithm 3).
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	var cp checkpoint
+	if len(p.pending) > 0 && p.pending[0].pc == pc {
+		cp = p.pending[0]
+		p.pending = p.pending[1:]
+	} else {
+		cp = checkpoint{pc: pc, state: p.class.Lookup(pc)}
+		if cp.state == bst.NonBiased {
+			p.compute(pc, &cp)
+			cp.pred = cp.accum >= 0
+		}
+		cp.final = cp.pred
+	}
+
+	if p.loop != nil {
+		if cp.loopOK && cp.loopPred != cp.pred {
+			p.withLoop = clamp32(p.withLoop+b2i(cp.loopPred == taken)*2-1, -64, 63)
+		}
+		p.loop.Update(pc, taken, cp.pred != taken)
+	}
+
+	switch cp.state {
+	case bst.NotFound:
+		// First commit: adopt the direction as the bias.
+	case bst.Taken, bst.NotTaken:
+		if cp.pred != taken {
+			// The branch just revealed itself as non-biased; train the
+			// weights so the perceptron picks it up immediately
+			// (Algorithm 3 updates Wb, Wm, Wrs on this transition).
+			p.compute(pc, &cp)
+			p.trainWeights(&cp, taken)
+		}
+	case bst.NonBiased:
+		mag := cp.accum
+		if mag < 0 {
+			mag = -mag
+		}
+		if cp.pred != taken || mag < p.theta {
+			p.trainWeights(&cp, taken)
+			p.adaptTheta(cp.pred != taken, mag)
+		}
+	}
+	p.class.Update(pc, taken)
+
+	// History management: the filtered structure tracks non-biased
+	// branches only; the unfiltered history tracks everything.
+	p.seq++
+	if p.class.Lookup(pc) == bst.NonBiased {
+		p.pushFiltered(pc, taken)
+	}
+	p.folds.Push(history.Entry{HashedPC: uint32(rng.Hash64(pc >> 2)), Taken: taken})
+}
+
+func (p *Predictor) pushFiltered(pc uint64, taken bool) {
+	hpc := uint32(rng.Hash64(pc>>2) & 0x3FFF) // 14-bit hashed address
+	e := fentry{hpc: hpc, taken: taken, seq: p.seq}
+	if p.cfg.RSDepth == 0 {
+		return
+	}
+	if p.cfg.Mode == ModeFull {
+		// Recency stack: move-to-front on hit (Fig. 3).
+		for j := range p.filt {
+			if p.filt[j].hpc == hpc {
+				copy(p.filt[1:j+1], p.filt[:j])
+				p.filt[0] = e
+				return
+			}
+		}
+	}
+	// Shift in; drop the deepest when full.
+	if len(p.filt) < p.cfg.RSDepth {
+		p.filt = append(p.filt, fentry{})
+	}
+	copy(p.filt[1:], p.filt[:len(p.filt)-1])
+	p.filt[0] = e
+}
+
+func (p *Predictor) trainWeights(cp *checkpoint, taken bool) {
+	bi := (cp.pc >> 2) & p.biasMask
+	p.wb[bi] = satUpdate8(p.wb[bi], taken)
+	for i, row := range cp.wmRows {
+		if row < 0 {
+			continue
+		}
+		p.wm[row] = satUpdate6(p.wm[row], taken == cp.wmDirs[i])
+	}
+	for i, idx := range cp.wrsIdxs {
+		p.wrs[idx] = satUpdate6(p.wrs[idx], taken == cp.wrsDirs[i])
+	}
+}
+
+func (p *Predictor) adaptTheta(mispred bool, mag int32) {
+	if mispred {
+		p.tc++
+		if p.tc >= 16 {
+			p.theta++
+			p.tc = 0
+		}
+	} else if mag <= p.theta {
+		p.tc--
+		if p.tc <= -16 {
+			if p.theta > 4 {
+				p.theta--
+			}
+			p.tc = 0
+		}
+	}
+}
+
+func satUpdate6(w int8, up bool) int8 {
+	if up {
+		if w < wMax {
+			return w + 1
+		}
+		return w
+	}
+	if w > wMin {
+		return w - 1
+	}
+	return w
+}
+
+func satUpdate8(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -128 {
+		return w - 1
+	}
+	return w
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Classifier exposes the BST (for tests and analysis tools).
+func (p *Predictor) Classifier() bst.Classifier { return p.class }
+
+// Theta exposes the adaptive threshold (for tests).
+func (p *Predictor) Theta() int32 { return p.theta }
+
+// FilteredLen exposes the live filtered-history length (for tests).
+func (p *Predictor) FilteredLen() int { return len(p.filt) }
+
+// Storage implements sim.StorageAccounter. Wm and Wrs weights are 6-bit,
+// bias weights 8-bit, RS entries carry a 14-bit hashed address, outcome
+// bit, and pos_hist field.
+func (p *Predictor) Storage() sim.Breakdown {
+	b := sim.Breakdown{Name: p.Name()}
+	b.Components = append(b.Components,
+		sim.Component{Name: "BST", Bits: p.class.StorageBits()},
+		sim.Component{Name: "bias weights Wb (8-bit)", Bits: 8 * len(p.wb)},
+		sim.Component{Name: "recent table Wm (6-bit)", Bits: 6 * len(p.wm)},
+		sim.Component{Name: "RS table Wrs (6-bit)", Bits: 6 * len(p.wrs)},
+		sim.Component{Name: "recency stack", Bits: p.cfg.RSDepth * (14 + 1 + p.cfg.DistBits)},
+		sim.Component{Name: "unfiltered history+folds", Bits: 4096 + len(foldLengths())*p.cfg.FoldWidth},
+	)
+	if p.loop != nil {
+		b.Components = append(b.Components, sim.Component{Name: "loop predictor", Bits: p.loop.StorageBits()})
+	}
+	return b
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

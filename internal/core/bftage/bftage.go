@@ -1,0 +1,586 @@
+// Package bftage implements the Bias-Free TAGE predictor of the paper
+// (§V): a TAGE organisation whose tagged tables are indexed not by the raw
+// global history but by the bias-free global history register (BF-GHR) of
+// Fig. 7 — the 16 most recent unfiltered outcome bits followed by the
+// contents of segmented recency stacks that each hold only the most recent
+// occurrence of non-biased branches from a geometric segment of the
+// unfiltered history.
+//
+// Because the segments reach 2048 branches into the past while the BF-GHR
+// is only ~144 bits wide, a 10-table BF-TAGE indexed with history lengths
+// {3,8,14,26,40,54,70,94,118,142} can capture the correlations a
+// conventional TAGE needs 15 tables and 1930 history bits for — the
+// paper's headline BF-TAGE result (Figs. 10-12).
+package bftage
+
+import (
+	"fmt"
+
+	"bfbp/internal/bst"
+	"bfbp/internal/history"
+	"bfbp/internal/looppred"
+	"bfbp/internal/predictor/tage"
+	"bfbp/internal/rng"
+	"bfbp/internal/rs"
+	"bfbp/internal/sim"
+)
+
+// Config parameterises BF-TAGE.
+type Config struct {
+	// Name overrides the reported predictor name.
+	Name string
+	// BaseLogEntries is log2 of the bimodal base size.
+	BaseLogEntries int
+	// Tables configures the tagged tables; HistLen is measured in BF-GHR
+	// bits (compressed history), not raw branches.
+	Tables []tage.TableConfig
+	// UnfilteredBits is the number of recent unfiltered history bits kept
+	// at the front of the BF-GHR (16 in §VI-C, to damp dynamic-detection
+	// perturbations).
+	UnfilteredBits int
+	// SegBounds are the unfiltered-history depths delimiting the
+	// recency-stack segments (§VI-C: {16, 32, 48, 64, 80, 104, 128, 192,
+	// 256, 320, 416, 512, 768, 1024, 1280, 1536, 2048}).
+	SegBounds []int
+	// SegSize is the per-segment stack capacity (8).
+	SegSize int
+	// BSTEntries is the Branch Status Table size (8192 in Table I).
+	BSTEntries int
+	// Classifier overrides the 2-bit FSM BST (e.g. bst.Oracle for the
+	// §VI-D static profile-assisted variant).
+	Classifier bst.Classifier
+	// PathBits is the path-history width (16).
+	PathBits int
+	// LoopPredictor, StatisticalCorrector, IUM enable the ISL components
+	// BF-ISL-TAGE inherits (§VI-C).
+	LoopPredictor        bool
+	StatisticalCorrector bool
+	IUM                  bool
+	// UResetPeriod is the useful-bit reset period (default 2^18).
+	UResetPeriod int
+	// Seed drives allocation randomisation.
+	Seed uint64
+}
+
+// PaperSegBounds is the §VI-C history segmentation.
+func PaperSegBounds() []int {
+	return []int{16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512, 768, 1024, 1280, 1536, 2048}
+}
+
+// Histories returns the BF-GHR history lengths for n tagged tables: the
+// paper's set for n == 10, a geometric series from 3 to the BF-GHR width
+// otherwise.
+func Histories(n int) []int {
+	if n == 10 {
+		return []int{3, 8, 14, 26, 40, 54, 70, 94, 118, 142}
+	}
+	return history.GeometricRange(3, 142, n)
+}
+
+// Conventional returns a BF-ISL-TAGE with n tagged tables sized, like the
+// paper, to the same storage as the corresponding conventional ISL-TAGE.
+func Conventional(n int) Config {
+	return conventional(n, true, true)
+}
+
+// ConventionalBare drops the SC and IUM components (paralleling
+// tage.ConventionalBare).
+func ConventionalBare(n int) Config {
+	return conventional(n, false, false)
+}
+
+func conventional(n int, sc, ium bool) Config {
+	// Tagged budget: the conventional target minus what the BF machinery
+	// costs (BST 2KB + RS 284B + unfiltered history 3KB, Table I).
+	const targetTaggedBits = (48*1024 - 2048 - 284 - 3072) * 8
+	cfg := Config{
+		Name:                 fmt.Sprintf("bf-isl-tage-%d", n),
+		BaseLogEntries:       14,
+		Tables:               tage.SizeTables(Histories(n), targetTaggedBits),
+		UnfilteredBits:       16,
+		SegBounds:            PaperSegBounds(),
+		SegSize:              8,
+		BSTEntries:           8192,
+		PathBits:             16,
+		LoopPredictor:        true,
+		StatisticalCorrector: sc,
+		IUM:                  ium,
+		Seed:                 0xBF7A6E,
+	}
+	if !sc && !ium {
+		cfg.Name = fmt.Sprintf("bf-tage-%d", n)
+	}
+	return cfg
+}
+
+type entry struct {
+	tag uint16
+	ctr int8
+	u   bool
+}
+
+type table struct {
+	cfg     tage.TableConfig
+	entries []entry
+	mask    uint64
+	tagMask uint32
+}
+
+type checkpoint struct {
+	pc         uint64
+	idx        []uint32
+	tag        []uint32
+	provider   int
+	alt        int
+	newlyAlloc bool
+	basePred   bool
+	baseIdx    uint32
+	provPred   bool
+	altPred    bool
+	tagePred   bool
+	scSum      int32
+	scIdx      uint32
+	loopPred   bool
+	loopValid  bool
+	finalPred  bool
+}
+
+// Predictor is the BF-TAGE predictor.
+type Predictor struct {
+	cfg    Config
+	tables []*table
+
+	basePred []bool
+	baseHyst []bool
+	baseMask uint64
+
+	class bst.Classifier
+	seg   *rs.Segmented
+	path  *history.Path
+
+	useAltOnNA int32
+	tick       int
+	r          *rng.SplitMix64
+
+	loop     *looppred.Predictor
+	withLoop int32
+
+	sc     []int8
+	scMask uint64
+
+	pending      []checkpoint
+	providerHits []uint64
+
+	bitsBuf []bool
+	pcsBuf  []bool
+}
+
+// New returns a BF-TAGE predictor for cfg.
+func New(cfg Config) *Predictor {
+	if len(cfg.Tables) == 0 {
+		panic("bftage: need at least one tagged table")
+	}
+	if cfg.BaseLogEntries < 4 || cfg.BaseLogEntries > 24 {
+		panic("bftage: BaseLogEntries out of range")
+	}
+	if cfg.UnfilteredBits < 0 || cfg.UnfilteredBits > 64 {
+		panic("bftage: UnfilteredBits out of range")
+	}
+	if cfg.SegSize < 1 {
+		panic("bftage: SegSize must be >= 1")
+	}
+	if cfg.BSTEntries <= 0 || cfg.BSTEntries&(cfg.BSTEntries-1) != 0 {
+		panic("bftage: BSTEntries must be a positive power of two")
+	}
+	if cfg.PathBits <= 0 {
+		cfg.PathBits = 16
+	}
+	if cfg.UResetPeriod == 0 {
+		cfg.UResetPeriod = 1 << 18
+	}
+	p := &Predictor{
+		cfg:          cfg,
+		basePred:     make([]bool, 1<<cfg.BaseLogEntries),
+		baseHyst:     make([]bool, 1<<(cfg.BaseLogEntries-2)),
+		baseMask:     uint64(1<<cfg.BaseLogEntries - 1),
+		seg:          rs.NewSegmented(cfg.SegBounds, cfg.SegSize),
+		path:         history.NewPath(cfg.PathBits),
+		useAltOnNA:   8,
+		r:            rng.New(cfg.Seed | 1),
+		providerHits: make([]uint64, len(cfg.Tables)+1),
+	}
+	if cfg.Classifier != nil {
+		p.class = cfg.Classifier
+	} else {
+		p.class = bst.NewTable(cfg.BSTEntries)
+	}
+	ghrBits := cfg.UnfilteredBits + p.seg.Bits()
+	prev := 0
+	for _, tc := range cfg.Tables {
+		if tc.HistLen <= prev {
+			panic("bftage: history lengths must be strictly increasing")
+		}
+		prev = tc.HistLen
+		if tc.HistLen > ghrBits {
+			panic("bftage: history length exceeds BF-GHR width")
+		}
+		p.tables = append(p.tables, &table{
+			cfg:     tc,
+			entries: make([]entry, 1<<tc.LogEntries),
+			mask:    uint64(1<<tc.LogEntries - 1),
+			tagMask: uint32(1<<tc.TagBits - 1),
+		})
+	}
+	if cfg.LoopPredictor {
+		p.loop = looppred.NewDefault()
+	}
+	if cfg.StatisticalCorrector {
+		p.sc = make([]int8, 1<<12)
+		p.scMask = uint64(len(p.sc) - 1)
+	}
+	return p
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	return "bf-tage"
+}
+
+// NumTables returns the tagged table count.
+func (p *Predictor) NumTables() int { return len(p.tables) }
+
+// GHRBits returns the BF-GHR width in bits.
+func (p *Predictor) GHRBits() int { return p.cfg.UnfilteredBits + p.seg.Bits() }
+
+// buildGHR composes the BF-GHR bit vector (outcomes) and the parallel
+// address-bit vector: recent unfiltered bits first, then each segment's
+// stack slots in increasing depth (Fig. 7).
+func (p *Predictor) buildGHR() ([]bool, []bool) {
+	p.bitsBuf = p.bitsBuf[:0]
+	p.pcsBuf = p.pcsBuf[:0]
+	ring := p.seg.Ring()
+	for d := 1; d <= p.cfg.UnfilteredBits; d++ {
+		e, ok := ring.At(d)
+		p.bitsBuf = append(p.bitsBuf, ok && e.Taken)
+		p.pcsBuf = append(p.pcsBuf, ok && e.HashedPC&1 != 0)
+	}
+	p.bitsBuf = p.seg.AppendBFGHR(p.bitsBuf)
+	p.pcsBuf = p.seg.AppendBFPCs(p.pcsBuf)
+	return p.bitsBuf, p.pcsBuf
+}
+
+func (p *Predictor) lookup(pc uint64) checkpoint {
+	n := len(p.tables)
+	cp := checkpoint{
+		pc:       pc,
+		idx:      make([]uint32, n),
+		tag:      make([]uint32, n),
+		provider: -1,
+		alt:      -1,
+	}
+	bits, pcs := p.buildGHR()
+	pch := rng.Hash64(pc >> 2)
+	path := p.path.Value()
+	for i, t := range p.tables {
+		l := t.cfg.HistLen
+		fIdx := history.FoldBits(bits[:l], t.cfg.LogEntries)
+		fPC := history.FoldBits(pcs[:l], maxInt(t.cfg.LogEntries-1, 1))
+		key := pch ^ fIdx ^ fPC<<1 ^ path<<20 ^ uint64(i)<<56
+		cp.idx[i] = uint32(rng.Hash64(key) & t.mask)
+		fT0 := history.FoldBits(bits[:l], t.cfg.TagBits)
+		fT1 := history.FoldBits(bits[:l], maxInt(t.cfg.TagBits-1, 1))
+		cp.tag[i] = (uint32(pch>>8) ^ uint32(fT0) ^ uint32(fT1)<<1) & t.tagMask
+	}
+	cp.baseIdx = uint32((pc >> 2) & p.baseMask)
+	cp.basePred = p.basePred[cp.baseIdx]
+	for i := n - 1; i >= 0; i-- {
+		e := &p.tables[i].entries[cp.idx[i]]
+		if uint32(e.tag) == cp.tag[i] {
+			if cp.provider < 0 {
+				cp.provider = i
+			} else {
+				cp.alt = i
+				break
+			}
+		}
+	}
+	if cp.provider >= 0 {
+		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
+		cp.provPred = e.ctr >= 0
+		cp.newlyAlloc = !e.u && (e.ctr == 0 || e.ctr == -1)
+		if cp.alt >= 0 {
+			ae := &p.tables[cp.alt].entries[cp.idx[cp.alt]]
+			cp.altPred = ae.ctr >= 0
+		} else {
+			cp.altPred = cp.basePred
+		}
+		if cp.newlyAlloc && p.useAltOnNA >= 8 {
+			cp.tagePred = cp.altPred
+		} else {
+			cp.tagePred = cp.provPred
+		}
+	} else {
+		cp.altPred = cp.basePred
+		cp.tagePred = cp.basePred
+	}
+	return cp
+}
+
+func (p *Predictor) scIndex(cp *checkpoint) uint32 {
+	conf := uint64(9)
+	if cp.provider >= 0 {
+		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
+		conf = uint64(int64(e.ctr) + 4)
+	}
+	dir := uint64(0)
+	if cp.tagePred {
+		dir = 1
+	}
+	return uint32(rng.Hash64((cp.pc>>2)<<5^conf<<1^dir) & p.scMask)
+}
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	cp := p.lookup(pc)
+	cp.finalPred = cp.tagePred
+
+	if p.sc != nil {
+		cp.scIdx = p.scIndex(&cp)
+		cp.scSum = int32(p.sc[cp.scIdx])
+		weak := cp.provider < 0 || cp.newlyAlloc ||
+			isWeak(p.tables[cp.provider].entries[cp.idx[cp.provider]].ctr)
+		if weak && cp.scSum <= -8 {
+			cp.finalPred = !cp.tagePred
+		}
+	}
+
+	if p.cfg.IUM && cp.provider >= 0 {
+		for j := len(p.pending) - 1; j >= 0; j-- {
+			q := &p.pending[j]
+			if q.provider == cp.provider && q.idx[q.provider] == cp.idx[cp.provider] {
+				cp.finalPred = q.finalPred
+				break
+			}
+		}
+	}
+
+	if p.loop != nil {
+		lp, lv := p.loop.Predict(pc)
+		cp.loopPred, cp.loopValid = lp, lv
+		if lv && p.withLoop >= 0 {
+			cp.finalPred = lp
+		}
+	}
+
+	if cp.provider >= 0 {
+		p.providerHits[cp.provider+1]++
+	} else {
+		p.providerHits[0]++
+	}
+	p.pending = append(p.pending, cp)
+	return cp.finalPred
+}
+
+func isWeak(ctr int8) bool { return ctr == 0 || ctr == -1 }
+
+// Update implements sim.Predictor (§V-B4).
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	var cp checkpoint
+	if len(p.pending) > 0 && p.pending[0].pc == pc {
+		cp = p.pending[0]
+		p.pending = p.pending[1:]
+	} else {
+		cp = p.lookup(pc)
+		cp.finalPred = cp.tagePred
+	}
+	p.train(&cp, taken)
+
+	// History management: classify, then commit into the unfiltered ring
+	// and the segmented stacks with the branch's bias status (§V-B4: a
+	// branch is inserted into GHRunfiltered along with its bias status
+	// and hashed address; the stacks pick it up at segment boundaries).
+	p.class.Update(pc, taken)
+	nonBiased := p.class.Lookup(pc) == bst.NonBiased
+	p.seg.Commit(history.Entry{
+		HashedPC:  uint32(rng.Hash64(pc>>2) & 0x3FFF),
+		Taken:     taken,
+		NonBiased: nonBiased,
+	})
+	p.path.Push(pc)
+}
+
+func (p *Predictor) train(cp *checkpoint, taken bool) {
+	if p.loop != nil {
+		if cp.loopValid && cp.loopPred != cp.tagePred {
+			p.withLoop = clamp32(p.withLoop+b2i(cp.loopPred == taken)*2-1, -64, 63)
+		}
+		p.loop.Update(cp.pc, taken, cp.tagePred != taken)
+	}
+
+	if p.sc != nil {
+		v := p.sc[cp.scIdx]
+		if cp.tagePred == taken {
+			if v < 31 {
+				p.sc[cp.scIdx] = v + 1
+			}
+		} else if v > -32 {
+			p.sc[cp.scIdx] = v - 1
+		}
+	}
+
+	if cp.provider >= 0 && cp.newlyAlloc && cp.provPred != cp.altPred {
+		p.useAltOnNA = clamp32(p.useAltOnNA+b2i(cp.altPred == taken)*2-1, 0, 15)
+	}
+
+	if cp.provider >= 0 {
+		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
+		e.ctr = satCtr(e.ctr, taken)
+		if cp.provPred != cp.altPred {
+			e.u = cp.provPred == taken
+		}
+		if !e.u && isWeak(e.ctr) {
+			p.baseUpdate(cp.baseIdx, taken)
+		}
+	} else {
+		p.baseUpdate(cp.baseIdx, taken)
+	}
+
+	if cp.tagePred != taken && cp.provider < len(p.tables)-1 {
+		p.allocate(cp, taken)
+	}
+
+	p.tick++
+	if p.tick >= p.cfg.UResetPeriod {
+		p.tick = 0
+		for _, t := range p.tables {
+			for i := range t.entries {
+				t.entries[i].u = false
+			}
+		}
+	}
+}
+
+func (p *Predictor) baseUpdate(idx uint32, taken bool) {
+	hi := idx >> 2
+	if p.basePred[idx] == taken {
+		p.baseHyst[hi] = true
+		return
+	}
+	if p.baseHyst[hi] {
+		p.baseHyst[hi] = false
+		return
+	}
+	p.basePred[idx] = taken
+}
+
+func (p *Predictor) allocate(cp *checkpoint, taken bool) {
+	start := cp.provider + 1
+	for s := 0; s < 2 && start < len(p.tables)-1; s++ {
+		if p.r.Bool(0.5) {
+			start++
+		}
+	}
+	for i := start; i < len(p.tables); i++ {
+		e := &p.tables[i].entries[cp.idx[i]]
+		if !e.u {
+			e.tag = uint16(cp.tag[i])
+			e.ctr = int8(b2i(taken) - 1)
+			e.u = false
+			return
+		}
+	}
+	for i := start; i < len(p.tables); i++ {
+		p.tables[i].entries[cp.idx[i]].u = false
+	}
+}
+
+func satCtr(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TableHits implements sim.TableHitReporter.
+func (p *Predictor) TableHits() []uint64 {
+	return append([]uint64(nil), p.providerHits...)
+}
+
+// ResetTableHits clears the provider histogram.
+func (p *Predictor) ResetTableHits() {
+	for i := range p.providerHits {
+		p.providerHits[i] = 0
+	}
+}
+
+// Classifier exposes the BST.
+func (p *Predictor) Classifier() bst.Classifier { return p.class }
+
+// Storage implements sim.StorageAccounter, mirroring the paper's Table I.
+func (p *Predictor) Storage() sim.Breakdown {
+	b := sim.Breakdown{Name: p.Name()}
+	b.Components = append(b.Components, sim.Component{
+		Name: "base bimodal (pred+hyst)",
+		Bits: len(p.basePred) + len(p.baseHyst),
+	})
+	for i, t := range p.tables {
+		b.Components = append(b.Components, sim.Component{
+			Name: fmt.Sprintf("tagged T%d (bf-hist %d)", i+1, t.cfg.HistLen),
+			Bits: len(t.entries) * (4 + t.cfg.TagBits),
+		})
+	}
+	b.Components = append(b.Components,
+		sim.Component{Name: "BST", Bits: p.class.StorageBits()},
+		sim.Component{Name: "segmented RS", Bits: p.seg.StorageBits()},
+		// Table I: 1536-deep unfiltered history entries of 14-bit hashed
+		// PC + outcome + bias status (we model 2048 for the last segment).
+		sim.Component{Name: "unfiltered history", Bits: 2048 * (14 + 1 + 1)},
+		sim.Component{Name: "path history", Bits: p.cfg.PathBits},
+	)
+	if p.loop != nil {
+		b.Components = append(b.Components, sim.Component{Name: "loop predictor", Bits: p.loop.StorageBits()})
+	}
+	if p.sc != nil {
+		b.Components = append(b.Components, sim.Component{Name: "statistical corrector", Bits: 6 * len(p.sc)})
+	}
+	return b
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.TableHitReporter = (*Predictor)(nil)
+)

@@ -1,0 +1,77 @@
+package counters
+
+import "bfbp/internal/rng"
+
+// Probabilistic is an n-bit counter whose increments succeed only with a
+// probability that shrinks as the counter grows, following Riley & Zilles
+// (HPCA 2006). The paper's §IV-B1 advocates 3-bit probabilistic counters for
+// the Branch Status Table of a production Bias-Free predictor: they stratify
+// branches by how frequently they exhibit a direction and can revert a
+// branch from non-biased back to biased when the application changes phase.
+//
+// The counter value encodes an estimate of log-scale event counts: a
+// transition from value v to v+1 is accepted with probability 1/2^(v*g)
+// where g is the growth exponent. Decrements are always accepted.
+type Probabilistic struct {
+	v      uint32
+	max    uint32
+	growth uint
+	rng    *rng.SplitMix64
+}
+
+// NewProbabilistic returns a probabilistic counter of the given bit width
+// with the supplied growth exponent (1 doubles the expected events per
+// step). The RNG must not be nil; it is owned by the counter bank so that
+// simulation remains deterministic.
+func NewProbabilistic(width int, growth uint, r *rng.SplitMix64) Probabilistic {
+	if width < 1 || width > 32 {
+		panic("counters: probabilistic width out of range")
+	}
+	if r == nil {
+		panic("counters: probabilistic counter needs an RNG")
+	}
+	var max uint32
+	if width == 32 {
+		max = ^uint32(0)
+	} else {
+		max = 1<<width - 1
+	}
+	return Probabilistic{max: max, growth: growth, rng: r}
+}
+
+// Value returns the current counter value.
+func (c *Probabilistic) Value() uint32 { return c.v }
+
+// Inc attempts a probabilistic increment and reports whether it took
+// effect. The acceptance probability halves (for growth=1) with each
+// current value, so reaching value k requires on the order of 2^k events.
+func (c *Probabilistic) Inc() bool {
+	if c.v >= c.max {
+		return false
+	}
+	shift := uint(c.v) * c.growth
+	if shift >= 64 {
+		return false
+	}
+	// Accept when the low `shift` bits of a fresh draw are all zero:
+	// probability 1/2^shift. shift==0 always accepts.
+	if c.rng.Uint64()&((1<<shift)-1) != 0 {
+		return false
+	}
+	c.v++
+	return true
+}
+
+// Dec decrements with saturation at zero. Decrements are deterministic so
+// that contrary evidence is never lost.
+func (c *Probabilistic) Dec() {
+	if c.v > 0 {
+		c.v--
+	}
+}
+
+// Reset zeroes the counter.
+func (c *Probabilistic) Reset() { c.v = 0 }
+
+// IsMax reports whether the counter is saturated high.
+func (c *Probabilistic) IsMax() bool { return c.v == c.max }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"bfbp/internal/workload"
+)
+
+// forEachTrace evaluates fn for every selected trace, in parallel up to
+// cfg.Workers goroutines, and returns the rows in suite order. Each fn
+// call generates its own trace, so memory scales with the worker count.
+func forEachTrace(cfg Config, fn func(s workload.Spec) Row) []Row {
+	specs := cfg.traces()
+	rows := make([]Row, len(specs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			rows[i] = fn(s)
+		}
+		return rows
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rows[i] = fn(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return rows
+}

@@ -1,0 +1,304 @@
+// Package history provides the global-history machinery shared by every
+// history-based predictor in this repository: a ring buffer of committed
+// branches, incrementally maintained folded histories (the circular shift
+// registers used by TAGE-class predictors and by the paper's fhist
+// optimization, §IV-A), geometric history-length series (O-GEHL style), and
+// a compact path-history register.
+package history
+
+import "math"
+
+// Entry is one committed branch as seen by the history structures.
+type Entry struct {
+	// HashedPC is a compact hash of the branch address (the paper's
+	// GHRunfiltered stores a 14-bit hashed PC per branch; we keep 32 bits
+	// and let consumers mask).
+	HashedPC uint32
+	// Taken is the resolved direction.
+	Taken bool
+	// NonBiased records the branch's BST classification at commit time.
+	// BF-TAGE consults it when a branch crosses a segment boundary.
+	NonBiased bool
+}
+
+// Ring is a fixed-capacity circular buffer of the most recent committed
+// branches, addressed by depth: depth 1 is the most recent branch, depth 2
+// the one before it, and so on. It is the software model of the paper's
+// GHRunfiltered structure.
+type Ring struct {
+	buf  []Entry
+	mask int
+	head int // index of the most recent entry
+	size int
+}
+
+// NewRing returns a ring holding up to capacity entries; capacity must be
+// a positive power of two.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("history: ring capacity must be a positive power of two")
+	}
+	return &Ring{buf: make([]Entry, capacity), mask: capacity - 1, head: -1}
+}
+
+// Push records a newly committed branch as depth 1.
+func (r *Ring) Push(e Entry) {
+	r.head = (r.head + 1) & r.mask
+	r.buf[r.head] = e
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// At returns the entry at the given depth (1 = most recent). ok is false
+// when fewer than depth branches have been pushed or depth exceeds the
+// capacity.
+func (r *Ring) At(depth int) (Entry, bool) {
+	if depth < 1 || depth > r.size {
+		return Entry{}, false
+	}
+	return r.buf[(r.head-(depth-1))&r.mask], true
+}
+
+// TakenAt returns the outcome bit at the given depth, or false when the
+// depth is not populated. It is the hot-path accessor for fold updates.
+func (r *Ring) TakenAt(depth int) bool {
+	if depth < 1 || depth > r.size {
+		return false
+	}
+	return r.buf[(r.head-(depth-1))&r.mask].Taken
+}
+
+// Len returns the number of populated entries (saturating at capacity).
+func (r *Ring) Len() int { return r.size }
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Folded is an incrementally maintained folded history: the XOR of
+// consecutive width-bit groups of the most recent origLen outcome bits,
+// with the newest bit at position 0 of the first group. TAGE maintains one
+// of these per table for index computation (and two more for tags); the
+// neural predictors use them for the paper's folded-history hashing.
+//
+// The update is O(1), implemented as the classic circular shift register:
+// rotate, insert the new bit, and cancel the bit that falls out of the
+// origLen-deep window.
+type Folded struct {
+	comp     uint64
+	width    int
+	origLen  int
+	outpoint int
+	mask     uint64
+}
+
+// NewFolded returns a folded history of origLen bits compressed to width
+// bits. width must be in [1, 63] and origLen >= 1.
+func NewFolded(origLen, width int) *Folded {
+	if width < 1 || width > 63 {
+		panic("history: folded width out of range")
+	}
+	if origLen < 1 {
+		panic("history: folded origLen must be >= 1")
+	}
+	return &Folded{
+		width:    width,
+		origLen:  origLen,
+		outpoint: origLen % width,
+		mask:     (1 << width) - 1,
+	}
+}
+
+// Update folds in the newest outcome bit and folds out oldBit, which must
+// be the outcome at depth origLen before this update (false when the
+// history is still shorter than origLen).
+func (f *Folded) Update(newBit, oldBit bool) {
+	// Rotate left by one within width bits.
+	f.comp = ((f.comp << 1) | (f.comp >> (f.width - 1))) & f.mask
+	if newBit {
+		f.comp ^= 1
+	}
+	if oldBit {
+		f.comp ^= 1 << f.outpoint
+	}
+}
+
+// Value returns the current folded value.
+func (f *Folded) Value() uint64 { return f.comp }
+
+// Width returns the compressed width in bits.
+func (f *Folded) Width() int { return f.width }
+
+// OrigLen returns the length of the history window being folded.
+func (f *Folded) OrigLen() int { return f.origLen }
+
+// Reset clears the register.
+func (f *Folded) Reset() { f.comp = 0 }
+
+// FoldBits folds an explicit bit vector (index 0 = newest) down to width
+// bits using the same group-XOR definition as Folded. BF-TAGE uses it to
+// fold its non-shift-register BF-GHR on demand.
+func FoldBits(bits []bool, width int) uint64 {
+	if width < 1 || width > 63 {
+		panic("history: fold width out of range")
+	}
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v ^= 1 << (i % width)
+		}
+	}
+	return v
+}
+
+// FoldSet bundles a Ring with a family of Folded registers at quantized
+// lengths, so that consumers can ask for "the folded history of
+// approximately the last d branches" in O(1). BF-Neural uses it to hash
+// the folded history from a recency-stack entry's position up to the
+// current branch (§IV-B2): positions are quantized to the nearest
+// maintained length, which mirrors what a hardware implementation with a
+// fixed set of fold registers would do.
+type FoldSet struct {
+	ring    *Ring
+	lengths []int // ascending
+	folds   []*Folded
+}
+
+// NewFoldSet builds a fold set over the given ascending lengths, all folded
+// to width bits. The ring capacity must be a power of two >= max length+1.
+func NewFoldSet(lengths []int, width, capacity int) *FoldSet {
+	if len(lengths) == 0 {
+		panic("history: fold set needs at least one length")
+	}
+	for i := 1; i < len(lengths); i++ {
+		if lengths[i] <= lengths[i-1] {
+			panic("history: fold set lengths must be strictly ascending")
+		}
+	}
+	if capacity < lengths[len(lengths)-1]+1 {
+		panic("history: fold set ring capacity too small")
+	}
+	s := &FoldSet{ring: NewRing(capacity), lengths: lengths}
+	s.folds = make([]*Folded, len(lengths))
+	for i, l := range lengths {
+		s.folds[i] = NewFolded(l, width)
+	}
+	return s
+}
+
+// Push commits a branch: updates the ring and every fold register.
+func (s *FoldSet) Push(e Entry) {
+	for i, f := range s.folds {
+		f.Update(e.Taken, s.ring.TakenAt(s.lengths[i]))
+	}
+	s.ring.Push(e)
+}
+
+// Fold returns the folded history for the largest maintained length that
+// does not exceed distance; requesting a distance below the smallest
+// maintained length returns 0 (an empty fold).
+func (s *FoldSet) Fold(distance int) uint64 {
+	idx := -1
+	for i, l := range s.lengths {
+		if l <= distance {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	return s.folds[idx].Value()
+}
+
+// FoldExact returns the fold register for the i-th maintained length.
+func (s *FoldSet) FoldExact(i int) uint64 { return s.folds[i].Value() }
+
+// Ring exposes the underlying ring for depth-indexed access.
+func (s *FoldSet) Ring() *Ring { return s.ring }
+
+// Lengths returns the maintained lengths (not a copy; do not modify).
+func (s *FoldSet) Lengths() []int { return s.lengths }
+
+// Path is a compact path-history register: one low-order PC bit per
+// committed branch, newest in bit 0. BF-TAGE hashes "a (limited) 16-bit
+// path history consisting of 1 address bit per branch" into its table
+// indices (§V-B1).
+type Path struct {
+	bits  uint64
+	width int
+	mask  uint64
+}
+
+// NewPath returns a path register of the given width in [1, 64].
+func NewPath(width int) *Path {
+	if width < 1 || width > 64 {
+		panic("history: path width out of range")
+	}
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << width) - 1
+	}
+	return &Path{width: width, mask: mask}
+}
+
+// Push shifts in one address bit of pc (bit 2, skipping typical alignment
+// zeroes).
+func (p *Path) Push(pc uint64) {
+	p.bits = ((p.bits << 1) | ((pc >> 2) & 1)) & p.mask
+}
+
+// Value returns the packed path bits.
+func (p *Path) Value() uint64 { return p.bits }
+
+// GeometricAlpha returns n history lengths following the O-GEHL series
+// L(i) = round(alpha^(i-1) * l1), deduplicated to be strictly increasing.
+func GeometricAlpha(l1 float64, alpha float64, n int) []int {
+	if n < 1 {
+		panic("history: need at least one length")
+	}
+	out := make([]int, n)
+	v := l1
+	for i := 0; i < n; i++ {
+		li := int(v + 0.5)
+		if i > 0 && li <= out[i-1] {
+			li = out[i-1] + 1
+		}
+		out[i] = li
+		v *= alpha
+	}
+	return out
+}
+
+// GeometricRange returns n strictly increasing history lengths from lMin to
+// lMax following a geometric progression, the standard way TAGE sizes its
+// per-table histories.
+func GeometricRange(lMin, lMax, n int) []int {
+	if n < 1 {
+		panic("history: need at least one length")
+	}
+	if n == 1 {
+		return []int{lMin}
+	}
+	out := make([]int, n)
+	ratio := float64(lMax) / float64(lMin)
+	for i := 0; i < n; i++ {
+		li := int(float64(lMin)*math.Pow(ratio, float64(i)/float64(n-1)) + 0.5)
+		if i > 0 && li <= out[i-1] {
+			li = out[i-1] + 1
+		}
+		out[i] = li
+	}
+	out[n-1] = maxInt(out[n-1], lMax)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+// Package bimodal implements the classic PC-indexed table of 2-bit
+// saturating counters (Smith, 1981). It serves as the tagless base
+// predictor T0 of the TAGE family (§V-A) and as the floor baseline in the
+// accuracy comparisons.
+package bimodal
+
+import (
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+)
+
+// Predictor is a direct-mapped bimodal predictor.
+type Predictor struct {
+	table []counters.Signed
+	mask  uint64
+	width int
+}
+
+// New returns a bimodal predictor with the given power-of-two entry count
+// and counter width in bits (2 is classic).
+func New(entries, width int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bimodal: entries must be a positive power of two")
+	}
+	p := &Predictor{table: make([]counters.Signed, entries), mask: uint64(entries - 1), width: width}
+	for i := range p.table {
+		p.table[i] = counters.NewSigned(width, 0)
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string { return "bimodal" }
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool { return p.table[p.index(pc)].Taken() }
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	p.table[p.index(pc)].Update(taken)
+}
+
+// Value exposes the raw counter for TAGE's alternate-prediction logic.
+func (p *Predictor) Value(pc uint64) int32 { return p.table[p.index(pc)].Value() }
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	return sim.Breakdown{
+		Name: p.Name(),
+		Components: []sim.Component{
+			{Name: "2-bit counters", Bits: p.width * len(p.table)},
+		},
+	}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

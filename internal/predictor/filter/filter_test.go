@@ -1,0 +1,119 @@
+package filter
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+)
+
+func smallCfg() Config {
+	return Config{
+		FilterEntries: 1 << 10,
+		FilterBits:    5, // filtered after a run of 31
+		PHTEntries:    1 << 12,
+		HistBits:      10,
+	}
+}
+
+func TestBiasedBranchBecomesFiltered(t *testing.T) {
+	p := New(smallCfg())
+	pc := uint64(0x40)
+	for i := 0; i < 40; i++ {
+		p.Update(pc, true, 0)
+	}
+	if !p.Filtered(pc) {
+		t.Fatal("branch with a 40-taken run should be filtered")
+	}
+	if !p.Predict(pc) {
+		t.Fatal("filtered branch should predict its bias")
+	}
+}
+
+func TestDirectionFlipUnfilters(t *testing.T) {
+	p := New(smallCfg())
+	pc := uint64(0x40)
+	for i := 0; i < 40; i++ {
+		p.Update(pc, true, 0)
+	}
+	p.Update(pc, false, 0)
+	if p.Filtered(pc) {
+		t.Fatal("a contrary outcome must reset the run filter")
+	}
+}
+
+func TestFilteringReducesPHTInterference(t *testing.T) {
+	// One pattern-following branch shares PHT contexts with a horde of
+	// biased branches. With filtering, the biased horde stays out of the
+	// PHT; without (FilterBits too high to ever trigger at this run
+	// length), it tramples the pattern branch's entries.
+	mk := func() trace.Slice {
+		r := rng.New(1)
+		var recs trace.Slice
+		for n := 0; n < 40000; n++ {
+			a := r.Bool(0.5)
+			recs = append(recs, trace.Record{PC: 0x100, Taken: a, Instret: 5})
+			recs = append(recs, trace.Record{PC: 0x104, Taken: a, Instret: 5})
+			for i := 0; i < 6; i++ {
+				pc := uint64(0x2000 + (n%64)*32 + i*4)
+				recs = append(recs, trace.Record{PC: pc, Taken: true, Instret: 5})
+			}
+		}
+		return recs
+	}
+	run := func(filterBits, phtEntries int) float64 {
+		cfg := smallCfg()
+		cfg.FilterBits = filterBits
+		cfg.PHTEntries = phtEntries
+		st, err := sim.Run(New(cfg), mk().Stream(), sim.Options{Warmup: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MispredictRate()
+	}
+	// A deliberately tiny PHT maximises interference pressure.
+	filtered := run(4, 1<<8)    // biased branches filtered after 15-runs
+	unfiltered := run(16, 1<<8) // effectively never filtered
+	t.Logf("rate: filtered %.4f, unfiltered %.4f", filtered, unfiltered)
+	if filtered > unfiltered*1.02 {
+		t.Errorf("filtering should not hurt: %.4f vs %.4f", filtered, unfiltered)
+	}
+}
+
+func TestRandomBranchNeverFiltered(t *testing.T) {
+	p := New(smallCfg())
+	r := rng.New(7)
+	pc := uint64(0x80)
+	for i := 0; i < 5000; i++ {
+		p.Update(pc, r.Bool(0.5), 0)
+	}
+	if p.Filtered(pc) {
+		t.Fatal("a 50/50 branch should essentially never be filtered")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	p := New(Default64KB())
+	if p.Storage().TotalBits() == 0 {
+		t.Fatal("empty storage")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{FilterEntries: 100, FilterBits: 5, PHTEntries: 64, HistBits: 8},
+		{FilterEntries: 64, FilterBits: 0, PHTEntries: 64, HistBits: 8},
+		{FilterEntries: 64, FilterBits: 5, PHTEntries: 100, HistBits: 8},
+		{FilterEntries: 64, FilterBits: 5, PHTEntries: 64, HistBits: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+// Package gshare implements McFarling's gshare predictor: a pattern
+// history table of 2-bit counters indexed by the XOR of the branch PC and
+// the global history register. It is the canonical global-history baseline
+// and a sanity reference for the harness.
+package gshare
+
+import (
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+)
+
+// Predictor is a gshare predictor.
+type Predictor struct {
+	table    []counters.Signed
+	mask     uint64
+	ghr      uint64
+	histBits int
+}
+
+// New returns a gshare predictor with a power-of-two PHT size and the
+// given global history length (<= 64).
+func New(entries, histBits int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("gshare: entries must be a positive power of two")
+	}
+	if histBits < 1 || histBits > 64 {
+		panic("gshare: histBits out of range")
+	}
+	p := &Predictor{table: make([]counters.Signed, entries), mask: uint64(entries - 1), histBits: histBits}
+	for i := range p.table {
+		p.table[i] = counters.NewSigned(2, 0)
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	h := p.ghr
+	if p.histBits < 64 {
+		h &= (1 << p.histBits) - 1
+	}
+	return ((pc >> 2) ^ h) & p.mask
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string { return "gshare" }
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool { return p.table[p.index(pc)].Taken() }
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	p.table[p.index(pc)].Update(taken)
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	return sim.Breakdown{
+		Name: p.Name(),
+		Components: []sim.Component{
+			{Name: "PHT 2-bit counters", Bits: 2 * len(p.table)},
+			{Name: "global history register", Bits: p.histBits},
+		},
+	}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

@@ -1,0 +1,85 @@
+package gshare
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+)
+
+func TestLearnsShortGlobalCorrelation(t *testing.T) {
+	// Branch B equals the outcome of branch A two branches earlier —
+	// learnable through the GHR.
+	p := New(1<<14, 12)
+	r := rng.New(1)
+	var recs trace.Slice
+	for i := 0; i < 30000; i++ {
+		a := r.Bool(0.5)
+		recs = append(recs,
+			trace.Record{PC: 0x100, Taken: a, Instret: 5},
+			trace.Record{PC: 0x104, Taken: true, Instret: 5},
+			trace.Record{PC: 0x108, Taken: a, Instret: 5},
+		)
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A (random) is unpredictable: 1/3 of branches mispredicted ~50%.
+	// B must be almost perfect, so the total rate should be ~0.17.
+	if st.MispredictRate() > 0.25 {
+		t.Fatalf("gshare rate = %.3f, want < 0.25 (B should be learned)", st.MispredictRate())
+	}
+}
+
+func TestRandomStreamNearHalf(t *testing.T) {
+	p := New(1<<12, 10)
+	r := rng.New(9)
+	recs := make(trace.Slice, 40000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x200, Taken: r.Bool(0.5), Instret: 5}
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MispredictRate() < 0.4 || st.MispredictRate() > 0.6 {
+		t.Fatalf("random stream rate = %.3f, want ~0.5", st.MispredictRate())
+	}
+}
+
+func TestHistoryAffectsIndex(t *testing.T) {
+	p := New(1<<10, 8)
+	i0 := p.index(0x400)
+	p.Update(0x100, true, 0)
+	i1 := p.index(0x400)
+	if i0 == i1 {
+		t.Fatal("GHR update did not change the index for the same PC")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	p := New(1<<15, 16)
+	want := 2*(1<<15) + 16
+	if got := p.Storage().TotalBits(); got != want {
+		t.Fatalf("storage = %d, want %d", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(100, 8) },
+		func() { New(64, 0) },
+		func() { New(64, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+// Package local implements a two-level local-history predictor in the
+// style of the Alpha 21264's local component: a table of per-branch
+// history registers indexing a shared pattern history table. §VI-D of the
+// paper attributes BF-TAGE's losses on SPEC07 and FP2 to branches that are
+// "intrinsically better predicted through the use of local history"; this
+// predictor makes that claim directly testable.
+package local
+
+import (
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+)
+
+// Predictor is a two-level local predictor.
+type Predictor struct {
+	histories []uint32
+	histMask  uint64
+	histBits  int
+	pht       []counters.Signed
+	phtMask   uint64
+}
+
+// New returns a local predictor with the given power-of-two history-table
+// and PHT sizes and per-branch history length (<= 20).
+func New(histEntries, histBits, phtEntries int) *Predictor {
+	if histEntries <= 0 || histEntries&(histEntries-1) != 0 {
+		panic("local: histEntries must be a positive power of two")
+	}
+	if phtEntries <= 0 || phtEntries&(phtEntries-1) != 0 {
+		panic("local: phtEntries must be a positive power of two")
+	}
+	if histBits < 1 || histBits > 20 {
+		panic("local: histBits out of range")
+	}
+	p := &Predictor{
+		histories: make([]uint32, histEntries),
+		histMask:  uint64(histEntries - 1),
+		histBits:  histBits,
+		pht:       make([]counters.Signed, phtEntries),
+		phtMask:   uint64(phtEntries - 1),
+	}
+	for i := range p.pht {
+		p.pht[i] = counters.NewSigned(3, 0)
+	}
+	return p
+}
+
+func (p *Predictor) phtIndex(pc uint64) uint64 {
+	h := uint64(p.histories[(pc>>2)&p.histMask])
+	return (h ^ (pc >> 2 << uint(p.histBits))) & p.phtMask
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string { return "local" }
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool { return p.pht[p.phtIndex(pc)].Taken() }
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	p.pht[p.phtIndex(pc)].Update(taken)
+	hi := (pc >> 2) & p.histMask
+	h := p.histories[hi] << 1
+	if taken {
+		h |= 1
+	}
+	p.histories[hi] = h & (1<<p.histBits - 1)
+}
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	return sim.Breakdown{
+		Name: p.Name(),
+		Components: []sim.Component{
+			{Name: "local history table", Bits: p.histBits * len(p.histories)},
+			{Name: "PHT 3-bit counters", Bits: 3 * len(p.pht)},
+		},
+	}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

@@ -1,0 +1,75 @@
+package local
+
+import (
+	"testing"
+
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+)
+
+func TestLearnsPeriodicPattern(t *testing.T) {
+	// A branch with pattern TTNTTN... is exactly what local history
+	// predicts perfectly and global predictors find harder when other
+	// branches interleave.
+	p := New(1024, 10, 1<<14)
+	pattern := []bool{true, true, false}
+	var recs trace.Slice
+	for i := 0; i < 30000; i++ {
+		recs = append(recs, trace.Record{PC: 0x500, Taken: pattern[i%3], Instret: 5})
+		// Interleave unrelated biased branches.
+		recs = append(recs, trace.Record{PC: 0x900 + uint64(i%16)*4, Taken: true, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MispredictRate() > 0.02 {
+		t.Fatalf("local predictor rate = %.4f on periodic pattern, want ~0", st.MispredictRate())
+	}
+}
+
+func TestLearnsSelfLagPattern(t *testing.T) {
+	// Outcome repeats its own value from 7 occurrences ago.
+	p := New(1024, 12, 1<<15)
+	seed := []bool{true, false, true, true, false, false, true}
+	hist := append([]bool(nil), seed...)
+	var recs trace.Slice
+	for i := 0; i < 40000; i++ {
+		out := hist[0]
+		hist = append(hist[1:], out)
+		recs = append(recs, trace.Record{PC: 0x700, Taken: out, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MispredictRate() > 0.02 {
+		t.Fatalf("rate = %.4f on lag-7 self pattern, want ~0", st.MispredictRate())
+	}
+}
+
+func TestStorage(t *testing.T) {
+	p := New(1024, 10, 4096)
+	want := 10*1024 + 3*4096
+	if got := p.Storage().TotalBits(); got != want {
+		t.Fatalf("storage = %d, want %d", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(100, 10, 64) },
+		func() { New(64, 10, 100) },
+		func() { New(64, 0, 64) },
+		func() { New(64, 21, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

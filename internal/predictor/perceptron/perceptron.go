@@ -1,0 +1,316 @@
+// Package perceptron implements a hashed, piecewise-linear-style neural
+// branch predictor (Jiménez & Lin 2001; Jiménez 2005). It is the
+// "conventional perceptron" baseline of the paper's Fig. 9 — a 72-branch
+// unfiltered history within a 64KB budget — and its folded-history
+// indexing switch (fhist, §IV-A) is one of the ablation steps of that
+// figure.
+//
+// For every position i in the global history, the predictor selects a
+// weight row by hashing the current PC with the address of the i-th most
+// recent branch (and, when enabled, the folded outcome history of length
+// i), then accumulates weight * outcome(i). The sign of the sum is the
+// prediction; training is standard perceptron learning with an adaptive
+// threshold (O-GEHL style).
+package perceptron
+
+import (
+	"bfbp/internal/history"
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+)
+
+// Config parameterises the predictor.
+type Config struct {
+	// Name overrides the reported predictor name.
+	Name string
+	// HistoryLength is the number of recent branches correlated with
+	// (the paper's baseline uses 72).
+	HistoryLength int
+	// TableRows is the power-of-two row count of the correlating weight
+	// table; each row holds HistoryLength int8 weights.
+	TableRows int
+	// BiasEntries is the power-of-two size of the bias weight table.
+	BiasEntries int
+	// FoldedHistory enables the fhist optimization of §IV-A: the hash
+	// that selects a weight row additionally includes the folded global
+	// outcome history between the correlated branch and the current one.
+	FoldedHistory bool
+	// FoldWidth is the bit width of the folded history (default 12).
+	FoldWidth int
+	// AdaptiveTheta enables dynamic training-threshold adjustment.
+	AdaptiveTheta bool
+}
+
+// Default64KB is the Fig. 9 leftmost-bar configuration: a conventional
+// perceptron with history length 72 sized for a 64KB budget, without
+// folded-history indexing.
+func Default64KB() Config {
+	return Config{
+		HistoryLength: 72,
+		TableRows:     1 << 9, // 512 rows x 72 8-bit weights = 36KB
+		BiasEntries:   1 << 13,
+		FoldedHistory: false,
+		AdaptiveTheta: true,
+	}
+}
+
+type checkpoint struct {
+	pc   uint64
+	sum  int32
+	rows []uint32
+	dirs []bool
+	used bool
+}
+
+// Predictor is a hashed perceptron predictor.
+type Predictor struct {
+	cfg      Config
+	weights  []int8 // TableRows x HistoryLength
+	bias     []int8
+	rowMask  uint64
+	biasMask uint64
+
+	ring  *history.Ring
+	folds *history.FoldSet
+
+	theta    int32
+	tc       int32 // adaptive threshold counter
+	pending  []checkpoint
+	rowBuf   []uint32
+	dirBuf   []bool
+	foldBufs []uint64
+}
+
+// New returns a predictor for the given configuration.
+func New(cfg Config) *Predictor {
+	if cfg.HistoryLength < 1 {
+		panic("perceptron: HistoryLength must be >= 1")
+	}
+	if cfg.TableRows <= 0 || cfg.TableRows&(cfg.TableRows-1) != 0 {
+		panic("perceptron: TableRows must be a positive power of two")
+	}
+	if cfg.BiasEntries <= 0 || cfg.BiasEntries&(cfg.BiasEntries-1) != 0 {
+		panic("perceptron: BiasEntries must be a positive power of two")
+	}
+	if cfg.FoldWidth == 0 {
+		cfg.FoldWidth = 12
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		weights:  make([]int8, cfg.TableRows*cfg.HistoryLength),
+		bias:     make([]int8, cfg.BiasEntries),
+		rowMask:  uint64(cfg.TableRows - 1),
+		biasMask: uint64(cfg.BiasEntries - 1),
+		theta:    int32(2.14*float64(cfg.HistoryLength) + 20.58),
+	}
+	ringCap := 1
+	for ringCap < cfg.HistoryLength+2 {
+		ringCap <<= 1
+	}
+	if cfg.FoldedHistory {
+		// One fold per quantized length; per-position folds are
+		// quantized to these lengths, which a hardware design would do
+		// with a fixed bank of fold registers.
+		lengths := foldLengths(cfg.HistoryLength)
+		p.folds = history.NewFoldSet(lengths, cfg.FoldWidth, ringCap)
+		p.ring = p.folds.Ring()
+	} else {
+		p.ring = history.NewRing(ringCap)
+	}
+	return p
+}
+
+// foldLengths returns a dense-then-geometric set of fold lengths covering
+// [1, h].
+func foldLengths(h int) []int {
+	var out []int
+	for l := 1; l <= h; {
+		out = append(out, l)
+		switch {
+		case l < 8:
+			l++
+		case l < 32:
+			l += 4
+		default:
+			l += l / 4
+		}
+	}
+	if out[len(out)-1] < h {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	if p.cfg.FoldedHistory {
+		return "perceptron+fhist"
+	}
+	return "perceptron"
+}
+
+// compute fills rowBuf/dirBuf with the weight rows and history directions
+// for pc and returns the perceptron sum.
+func (p *Predictor) compute(pc uint64) int32 {
+	h := p.cfg.HistoryLength
+	if cap(p.rowBuf) < h {
+		p.rowBuf = make([]uint32, h)
+		p.dirBuf = make([]bool, h)
+	}
+	p.rowBuf = p.rowBuf[:h]
+	p.dirBuf = p.dirBuf[:h]
+	sum := int32(p.bias[(pc>>2)&p.biasMask])
+	pch := rng.Hash64(pc >> 2)
+	for i := 1; i <= h; i++ {
+		e, ok := p.ring.At(i)
+		if !ok {
+			p.rowBuf[i-1] = 0xFFFFFFFF
+			continue
+		}
+		key := pch ^ uint64(e.HashedPC)*0x9e3779b97f4a7c15 ^ uint64(i)<<40
+		if p.cfg.FoldedHistory {
+			key ^= p.folds.Fold(i) << 17
+		}
+		row := uint32(rng.Hash64(key) & p.rowMask)
+		p.rowBuf[i-1] = row
+		p.dirBuf[i-1] = e.Taken
+		w := int32(p.weights[int(row)*h+(i-1)])
+		if e.Taken {
+			sum += w
+		} else {
+			sum -= w
+		}
+	}
+	return sum
+}
+
+// Predict implements sim.Predictor. It records a checkpoint of the rows
+// and directions used so that training applies to exactly the state that
+// produced the prediction, even under delayed update.
+func (p *Predictor) Predict(pc uint64) bool {
+	sum := p.compute(pc)
+	cp := checkpoint{pc: pc, sum: sum}
+	cp.rows = append(cp.rows, p.rowBuf...)
+	cp.dirs = append(cp.dirs, p.dirBuf...)
+	p.pending = append(p.pending, cp)
+	return sum >= 0
+}
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	cp := p.takeCheckpoint(pc)
+	p.train(cp, taken)
+	p.pushHistory(pc, taken)
+}
+
+// takeCheckpoint pops the FIFO head if it matches pc; when the harness
+// calls Update without a prior Predict (or out of order), a fresh
+// computation stands in.
+func (p *Predictor) takeCheckpoint(pc uint64) checkpoint {
+	if len(p.pending) > 0 && p.pending[0].pc == pc {
+		cp := p.pending[0]
+		p.pending = p.pending[1:]
+		return cp
+	}
+	sum := p.compute(pc)
+	cp := checkpoint{pc: pc, sum: sum}
+	cp.rows = append(cp.rows, p.rowBuf...)
+	cp.dirs = append(cp.dirs, p.dirBuf...)
+	return cp
+}
+
+func (p *Predictor) train(cp checkpoint, taken bool) {
+	pred := cp.sum >= 0
+	mispred := pred != taken
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	if !mispred && mag > p.theta {
+		return
+	}
+	h := p.cfg.HistoryLength
+	bi := (cp.pc >> 2) & p.biasMask
+	p.bias[bi] = satUpdate(p.bias[bi], taken)
+	for i := 0; i < h; i++ {
+		row := cp.rows[i]
+		if row == 0xFFFFFFFF {
+			continue
+		}
+		idx := int(row)*h + i
+		p.weights[idx] = satUpdate(p.weights[idx], taken == cp.dirs[i])
+	}
+	if p.cfg.AdaptiveTheta {
+		p.adaptTheta(mispred, mag)
+	}
+}
+
+// adaptTheta implements Seznec's dynamic threshold fitting: sustained
+// mispredictions grow theta, sustained low-confidence correct predictions
+// shrink it.
+func (p *Predictor) adaptTheta(mispred bool, mag int32) {
+	if mispred {
+		p.tc++
+		if p.tc >= 64 {
+			p.theta++
+			p.tc = 0
+		}
+	} else if mag <= p.theta {
+		p.tc--
+		if p.tc <= -64 {
+			if p.theta > 1 {
+				p.theta--
+			}
+			p.tc = 0
+		}
+	}
+}
+
+func (p *Predictor) pushHistory(pc uint64, taken bool) {
+	e := history.Entry{HashedPC: uint32(rng.Hash64(pc >> 2)), Taken: taken}
+	if p.folds != nil {
+		p.folds.Push(e)
+	} else {
+		p.ring.Push(e)
+	}
+}
+
+func satUpdate(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -128 {
+		return w - 1
+	}
+	return w
+}
+
+// Theta exposes the current training threshold (for tests).
+func (p *Predictor) Theta() int32 { return p.theta }
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	comps := []sim.Component{
+		{Name: "correlating weights (8-bit)", Bits: 8 * len(p.weights)},
+		{Name: "bias weights (8-bit)", Bits: 8 * len(p.bias)},
+		{Name: "global history ring", Bits: p.ring.Cap() * 15},
+	}
+	if p.cfg.FoldedHistory {
+		comps = append(comps, sim.Component{
+			Name: "folded history registers",
+			Bits: len(foldLengths(p.cfg.HistoryLength)) * p.cfg.FoldWidth,
+		})
+	}
+	return sim.Breakdown{Name: p.Name(), Components: comps}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

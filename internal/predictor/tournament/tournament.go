@@ -1,0 +1,176 @@
+// Package tournament implements an Alpha-21264-style hybrid predictor
+// (Evers, Chang & Patt, ISCA 1996; the paper's reference [17]): a local
+// two-level component and a global gshare component arbitrated by a
+// per-context chooser trained on which component was right. It is the
+// classic answer to the local-vs-global tension that §VI-D discusses for
+// SPEC07/FP2, which makes it a useful diagnostic baseline here.
+package tournament
+
+import (
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+)
+
+// Config parameterises the tournament predictor.
+type Config struct {
+	Name string
+	// LocalHistEntries / LocalHistBits / LocalPHTEntries size the local
+	// two-level component.
+	LocalHistEntries int
+	LocalHistBits    int
+	LocalPHTEntries  int
+	// GlobalEntries / GlobalHistBits size the gshare component.
+	GlobalEntries  int
+	GlobalHistBits int
+	// ChooserEntries sizes the meta-predictor (indexed by global
+	// history, as in the 21264).
+	ChooserEntries int
+}
+
+// Default64KB sizes the hybrid at roughly 64KB.
+func Default64KB() Config {
+	return Config{
+		LocalHistEntries: 1 << 12,
+		LocalHistBits:    10,
+		LocalPHTEntries:  1 << 14,
+		GlobalEntries:    1 << 16,
+		GlobalHistBits:   14,
+		ChooserEntries:   1 << 14,
+	}
+}
+
+// Predictor is a tournament hybrid.
+type Predictor struct {
+	cfg Config
+
+	localHist []uint32
+	lhMask    uint64
+	localPHT  []counters.Signed
+	lpMask    uint64
+
+	global []counters.Signed
+	gMask  uint64
+
+	chooser []counters.Signed // >= 0 prefers global
+	chMask  uint64
+
+	ghr uint64
+}
+
+// New returns a tournament predictor.
+func New(cfg Config) *Predictor {
+	for _, v := range []int{cfg.LocalHistEntries, cfg.LocalPHTEntries, cfg.GlobalEntries, cfg.ChooserEntries} {
+		if v <= 0 || v&(v-1) != 0 {
+			panic("tournament: table sizes must be positive powers of two")
+		}
+	}
+	if cfg.LocalHistBits < 1 || cfg.LocalHistBits > 20 {
+		panic("tournament: LocalHistBits out of range")
+	}
+	if cfg.GlobalHistBits < 1 || cfg.GlobalHistBits > 64 {
+		panic("tournament: GlobalHistBits out of range")
+	}
+	p := &Predictor{
+		cfg:       cfg,
+		localHist: make([]uint32, cfg.LocalHistEntries),
+		lhMask:    uint64(cfg.LocalHistEntries - 1),
+		localPHT:  make([]counters.Signed, cfg.LocalPHTEntries),
+		lpMask:    uint64(cfg.LocalPHTEntries - 1),
+		global:    make([]counters.Signed, cfg.GlobalEntries),
+		gMask:     uint64(cfg.GlobalEntries - 1),
+		chooser:   make([]counters.Signed, cfg.ChooserEntries),
+		chMask:    uint64(cfg.ChooserEntries - 1),
+	}
+	for i := range p.localPHT {
+		p.localPHT[i] = counters.NewSigned(3, 0)
+	}
+	for i := range p.global {
+		p.global[i] = counters.NewSigned(2, 0)
+	}
+	for i := range p.chooser {
+		p.chooser[i] = counters.NewSigned(2, 0)
+	}
+	return p
+}
+
+// Name implements sim.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	return "tournament"
+}
+
+func (p *Predictor) localIndex(pc uint64) uint64 {
+	h := uint64(p.localHist[(pc>>2)&p.lhMask])
+	return (h ^ (pc >> 2 << uint(p.cfg.LocalHistBits))) & p.lpMask
+}
+
+func (p *Predictor) globalIndex(pc uint64) uint64 {
+	h := p.ghr
+	if p.cfg.GlobalHistBits < 64 {
+		h &= 1<<uint(p.cfg.GlobalHistBits) - 1
+	}
+	return ((pc >> 2) ^ h) & p.gMask
+}
+
+func (p *Predictor) chooserIndex() uint64 { return p.ghr & p.chMask }
+
+// Components returns the two component predictions (for analysis).
+func (p *Predictor) Components(pc uint64) (local, global bool) {
+	return p.localPHT[p.localIndex(pc)].Taken(), p.global[p.globalIndex(pc)].Taken()
+}
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	local, global := p.Components(pc)
+	if p.chooser[p.chooserIndex()].Taken() {
+		return global
+	}
+	return local
+}
+
+// Update implements sim.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	li := p.localIndex(pc)
+	gi := p.globalIndex(pc)
+	local := p.localPHT[li].Taken()
+	global := p.global[gi].Taken()
+
+	// Chooser trains only when the components disagree.
+	if local != global {
+		p.chooser[p.chooserIndex()].Update(global == taken)
+	}
+	p.localPHT[li].Update(taken)
+	p.global[gi].Update(taken)
+
+	lh := (pc >> 2) & p.lhMask
+	p.localHist[lh] = (p.localHist[lh]<<1 | b2u32(taken)) & (1<<uint(p.cfg.LocalHistBits) - 1)
+	p.ghr = p.ghr<<1 | uint64(b2u32(taken))
+}
+
+func b2u32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Storage implements sim.StorageAccounter.
+func (p *Predictor) Storage() sim.Breakdown {
+	return sim.Breakdown{
+		Name: p.Name(),
+		Components: []sim.Component{
+			{Name: "local histories", Bits: p.cfg.LocalHistBits * len(p.localHist)},
+			{Name: "local PHT (3-bit)", Bits: 3 * len(p.localPHT)},
+			{Name: "global PHT (2-bit)", Bits: 2 * len(p.global)},
+			{Name: "chooser (2-bit)", Bits: 2 * len(p.chooser)},
+			{Name: "history register", Bits: p.cfg.GlobalHistBits},
+		},
+	}
+}
+
+var (
+	_ sim.Predictor        = (*Predictor)(nil)
+	_ sim.StorageAccounter = (*Predictor)(nil)
+)

@@ -1,0 +1,136 @@
+package tournament
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+)
+
+func smallCfg() Config {
+	return Config{
+		LocalHistEntries: 1 << 8,
+		LocalHistBits:    10,
+		LocalPHTEntries:  1 << 12,
+		GlobalEntries:    1 << 12,
+		GlobalHistBits:   10,
+		ChooserEntries:   1 << 10,
+	}
+}
+
+func TestLearnsLocalPattern(t *testing.T) {
+	// Periodic pattern with interleaved noise branches: the local
+	// component wins; the chooser must route to it.
+	p := New(smallCfg())
+	r := rng.New(1)
+	pattern := []bool{true, true, false, true, false}
+	var recs trace.Slice
+	for n := 0; n < 30000; n++ {
+		recs = append(recs, trace.Record{PC: 0x500, Taken: pattern[n%5], Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x900, Taken: r.Bool(0.5), Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 10000, PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range st.TopOffenders(10) {
+		if o.PC == 0x500 {
+			if rate := float64(o.Mispredicts) / float64(o.Count); rate > 0.05 {
+				t.Fatalf("local-pattern branch rate = %.3f, want ~0", rate)
+			}
+		}
+	}
+}
+
+func TestLearnsGlobalCorrelation(t *testing.T) {
+	p := New(smallCfg())
+	r := rng.New(2)
+	var recs trace.Slice
+	for n := 0; n < 20000; n++ {
+		a := r.Bool(0.5)
+		recs = append(recs, trace.Record{PC: 0x100, Taken: a, Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x104, Taken: true, Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x900, Taken: a, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 8000, PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range st.TopOffenders(10) {
+		if o.PC == 0x900 {
+			if rate := float64(o.Mispredicts) / float64(o.Count); rate > 0.05 {
+				t.Fatalf("global-correlated branch rate = %.3f, want ~0", rate)
+			}
+		}
+	}
+}
+
+func TestChooserRoutesPerContext(t *testing.T) {
+	// Both previous workloads combined: the hybrid should handle both at
+	// once, which neither component alone could.
+	p := New(smallCfg())
+	r := rng.New(3)
+	pattern := []bool{true, true, false}
+	var recs trace.Slice
+	for n := 0; n < 40000; n++ {
+		a := r.Bool(0.5)
+		recs = append(recs, trace.Record{PC: 0x100, Taken: a, Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x500, Taken: pattern[n%3], Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x900, Taken: a, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 of 3 branches is random (0x100); the other two learnable.
+	if st.MispredictRate() > 0.22 {
+		t.Fatalf("hybrid rate = %.3f, want < 0.22", st.MispredictRate())
+	}
+}
+
+func TestComponentsExposed(t *testing.T) {
+	p := New(smallCfg())
+	for i := 0; i < 100; i++ {
+		p.Update(0x40, true, 0)
+	}
+	local, global := p.Components(0x40)
+	if !local || !global {
+		t.Fatal("both components should predict taken after taken training")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() trace.Slice {
+		r := rng.New(11)
+		recs := make(trace.Slice, 5000)
+		for i := range recs {
+			recs[i] = trace.Record{PC: uint64(0x100 + (i%16)*4), Taken: r.Bool(0.4), Instret: 5}
+		}
+		return recs
+	}
+	a, _ := sim.Run(New(smallCfg()), mk().Stream(), sim.Options{})
+	b, _ := sim.Run(New(smallCfg()), mk().Stream(), sim.Options{})
+	if a.Mispredicts != b.Mispredicts {
+		t.Fatalf("non-deterministic: %d vs %d", a.Mispredicts, b.Mispredicts)
+	}
+}
+
+func TestStorage(t *testing.T) {
+	if New(Default64KB()).Storage().TotalBits() == 0 {
+		t.Fatal("empty storage")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LocalHistEntries = 100
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-power-of-two did not panic")
+			}
+		}()
+		New(cfg)
+	}()
+}

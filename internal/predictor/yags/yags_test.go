@@ -1,0 +1,126 @@
+package yags
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/sim"
+	"bfbp/internal/trace"
+)
+
+func smallCfg() Config {
+	return Config{
+		ChoiceEntries: 1 << 12,
+		CacheEntries:  1 << 10,
+		TagBits:       8,
+		HistBits:      10,
+	}
+}
+
+func TestLearnsBiasedStream(t *testing.T) {
+	p := New(smallCfg())
+	recs := make(trace.Slice, 20000)
+	for i := range recs {
+		pc := uint64(0x1000 + (i%32)*4)
+		recs[i] = trace.Record{PC: pc, Taken: pc%8 != 0, Instret: 5}
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MispredictRate() > 0.005 {
+		t.Fatalf("rate = %.4f on biased stream, want ~0", st.MispredictRate())
+	}
+}
+
+func TestLearnsExceptions(t *testing.T) {
+	// A branch that is taken except in one specific history context: the
+	// bias handles the common case, the exception cache the rest.
+	p := New(smallCfg())
+	r := rng.New(2)
+	var recs trace.Slice
+	for n := 0; n < 20000; n++ {
+		a := r.Bool(0.25) // context selector
+		recs = append(recs, trace.Record{PC: 0x100, Taken: a, Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x104, Taken: true, Instret: 5})
+		// 0x900 is taken unless the selector fired two branches ago.
+		recs = append(recs, trace.Record{PC: 0x900, Taken: !a, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 9000, PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range st.TopOffenders(10) {
+		if o.PC == 0x900 {
+			if rate := float64(o.Mispredicts) / float64(o.Count); rate > 0.05 {
+				t.Fatalf("exception branch rate = %.3f, want ~0", rate)
+			}
+		}
+	}
+}
+
+func TestChoiceStability(t *testing.T) {
+	// The partial-update rule: when the exception cache correctly
+	// overrides, the choice PHT must not be dragged away from the bias.
+	p := New(smallCfg())
+	r := rng.New(4)
+	// Branch taken 80% of the time with the not-taken instances
+	// perfectly predicted by a context bit.
+	var recs trace.Slice
+	for n := 0; n < 30000; n++ {
+		a := r.Bool(0.2)
+		recs = append(recs, trace.Record{PC: 0x100, Taken: a, Instret: 5})
+		recs = append(recs, trace.Record{PC: 0x900, Taken: !a, Instret: 5})
+	}
+	st, err := sim.Run(p, recs.Stream(), sim.Options{Warmup: 10000, PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range st.TopOffenders(10) {
+		if o.PC == 0x900 {
+			if rate := float64(o.Mispredicts) / float64(o.Count); rate > 0.05 {
+				t.Fatalf("biased-with-exceptions branch rate = %.3f", rate)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() trace.Slice {
+		r := rng.New(11)
+		recs := make(trace.Slice, 5000)
+		for i := range recs {
+			recs[i] = trace.Record{PC: uint64(0x100 + (i%16)*4), Taken: r.Bool(0.4), Instret: 5}
+		}
+		return recs
+	}
+	a, _ := sim.Run(New(smallCfg()), mk().Stream(), sim.Options{})
+	b, _ := sim.Run(New(smallCfg()), mk().Stream(), sim.Options{})
+	if a.Mispredicts != b.Mispredicts {
+		t.Fatalf("non-deterministic: %d vs %d", a.Mispredicts, b.Mispredicts)
+	}
+}
+
+func TestStorage(t *testing.T) {
+	if New(Default64KB()).Storage().TotalBits() == 0 {
+		t.Fatal("empty storage")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{ChoiceEntries: 100, CacheEntries: 64, TagBits: 8, HistBits: 8},
+		{ChoiceEntries: 64, CacheEntries: 100, TagBits: 8, HistBits: 8},
+		{ChoiceEntries: 64, CacheEntries: 64, TagBits: 1, HistBits: 8},
+		{ChoiceEntries: 64, CacheEntries: 64, TagBits: 8, HistBits: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

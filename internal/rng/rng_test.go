@@ -1,0 +1,158 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownVector(t *testing.T) {
+	// Pin the first outputs of seed 0 so that trace content is stable
+	// forever: changing the generator silently would invalidate every
+	// recorded experiment.
+	r := New(0)
+	got := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(7)
+	const buckets, draws = 8, 80000
+	var hist [buckets]int
+	for i := 0; i < draws; i++ {
+		hist[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for i, c := range hist {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.28 || p > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.30", p)
+	}
+}
+
+func TestForkDecorrelated(t *testing.T) {
+	r := New(5)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams matched %d times", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := New(5).Fork(10)
+	b := New(5).Fork(10)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same fork path diverged")
+		}
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	x := uint64(0x12345678deadbeef)
+	base := Hash64(x)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		diff := base ^ Hash64(x^(1<<bit))
+		flips := 0
+		for d := diff; d != 0; d &= d - 1 {
+			flips++
+		}
+		totalFlips += flips
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average = %.1f bits, want ~32", avg)
+	}
+}
+
+func TestHash64ZeroNotFixedPoint(t *testing.T) {
+	if Hash64(0) == 0 {
+		t.Fatal("Hash64(0) must not be 0 for PC hashing")
+	}
+}

@@ -1,0 +1,136 @@
+// Package rs implements the paper's recency-stack structures: the
+// monolithic recency stack used by BF-Neural (§III-B, Fig. 3), which keeps
+// only the most recent occurrence of each non-biased branch together with
+// its positional history (§III-C), and the segmented recency stack used by
+// BF-TAGE (§V-B1, Fig. 7), which splits a long global history into
+// geometric, non-overlapping segments each served by a small associative
+// stack.
+package rs
+
+// Entry is a recency-stack slot as exposed to predictors.
+type Entry struct {
+	// PC is the (possibly hashed) address of the non-biased branch.
+	PC uint64
+	// Taken is the most recent outcome of that branch.
+	Taken bool
+	// Dist is the positional history (pos_hist): the absolute distance of
+	// the branch's latest occurrence from the current point in the
+	// unfiltered global history, in committed branches.
+	Dist uint64
+}
+
+// Stack is the monolithic recency stack. It tracks the latest occurrence
+// of each non-biased branch: a hit moves the entry to the top with a fresh
+// outcome and distance, a miss shifts like a conventional shift register,
+// dropping the deepest entry when full. The global sequence counter that
+// defines pos_hist advances once per committed branch of any kind (biased
+// branches occupy positions in the unfiltered history even though they are
+// filtered from the stack).
+type Stack struct {
+	pcs   []uint64
+	taken []bool
+	seqs  []uint64
+	n     int
+	seq   uint64
+	// maxDist caps reported distances, modelling the finite pos_hist
+	// field width of a hardware implementation.
+	maxDist uint64
+}
+
+// NewStack returns a recency stack of the given depth. distBits is the
+// width of the pos_hist field; distances saturate at 2^distBits - 1.
+func NewStack(depth, distBits int) *Stack {
+	if depth < 1 {
+		panic("rs: stack depth must be >= 1")
+	}
+	if distBits < 1 || distBits > 63 {
+		panic("rs: distBits out of range")
+	}
+	return &Stack{
+		pcs:     make([]uint64, depth),
+		taken:   make([]bool, depth),
+		seqs:    make([]uint64, depth),
+		maxDist: 1<<distBits - 1,
+	}
+}
+
+// Tick advances the global position by one committed branch. Call it once
+// per committed branch, before Push for that branch.
+func (s *Stack) Tick() { s.seq++ }
+
+// Push records the latest occurrence of a non-biased branch. If pc is
+// already present it is moved to the top (the Fig. 3 shift with clock-gated
+// downstream flip-flops); otherwise it is inserted at the top and the
+// deepest entry falls off when the stack is full.
+func (s *Stack) Push(pc uint64, taken bool) {
+	hit := -1
+	for i := 0; i < s.n; i++ {
+		if s.pcs[i] == pc {
+			hit = i
+			break
+		}
+	}
+	switch {
+	case hit >= 0:
+		// Shift [0,hit) down by one, reinsert at top.
+		copy(s.pcs[1:hit+1], s.pcs[:hit])
+		copy(s.taken[1:hit+1], s.taken[:hit])
+		copy(s.seqs[1:hit+1], s.seqs[:hit])
+	case s.n < len(s.pcs):
+		copy(s.pcs[1:s.n+1], s.pcs[:s.n])
+		copy(s.taken[1:s.n+1], s.taken[:s.n])
+		copy(s.seqs[1:s.n+1], s.seqs[:s.n])
+		s.n++
+	default:
+		copy(s.pcs[1:], s.pcs[:s.n-1])
+		copy(s.taken[1:], s.taken[:s.n-1])
+		copy(s.seqs[1:], s.seqs[:s.n-1])
+	}
+	s.pcs[0] = pc
+	s.taken[0] = taken
+	s.seqs[0] = s.seq
+}
+
+// Len returns the number of live entries.
+func (s *Stack) Len() int { return s.n }
+
+// Depth returns the stack capacity.
+func (s *Stack) Depth() int { return len(s.pcs) }
+
+// At returns the i-th entry from the top (i = 0 is the most recent),
+// with its current pos_hist distance.
+func (s *Stack) At(i int) Entry {
+	if i < 0 || i >= s.n {
+		panic("rs: At index out of range")
+	}
+	return Entry{PC: s.pcs[i], Taken: s.taken[i], Dist: s.dist(s.seqs[i])}
+}
+
+// Contains reports whether pc currently has an entry.
+func (s *Stack) Contains(pc uint64) bool {
+	for i := 0; i < s.n; i++ {
+		if s.pcs[i] == pc {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Stack) dist(entrySeq uint64) uint64 {
+	d := s.seq - entrySeq
+	if d > s.maxDist {
+		return s.maxDist
+	}
+	return d
+}
+
+// StorageBits models each entry as a hashed address + outcome + pos_hist
+// field (the paper's Table I budgets 16 bits per RS entry).
+func (s *Stack) StorageBits() int {
+	distBits := 0
+	for m := s.maxDist; m > 0; m >>= 1 {
+		distBits++
+	}
+	// 14-bit hashed PC + 1 outcome bit + pos_hist field.
+	return len(s.pcs) * (14 + 1 + distBits)
+}

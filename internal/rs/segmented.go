@@ -1,0 +1,188 @@
+package rs
+
+import "bfbp/internal/history"
+
+// Segmented is the BF-TAGE history structure of Fig. 7: the long global
+// history is divided into non-overlapping segments whose sizes form a
+// geometric series, and each segment is covered by a small recency stack
+// holding at most segSize non-biased branches. A branch enters a segment's
+// stack when it reaches the segment's starting depth in the unfiltered
+// history (evicting any older same-address entry), and falls out when it
+// reaches the segment's ending depth — at which point the next, deeper
+// segment considers it. Associative searches are therefore localized to
+// one small stack per boundary crossing instead of one monolithic
+// structure, which is what makes the design implementable (§V-B1).
+type Segmented struct {
+	bounds  []int // ascending depths; segment i covers [bounds[i], bounds[i+1])
+	segSize int
+	segs    []segment
+	ring    *history.Ring
+	seq     uint64
+}
+
+type segment struct {
+	pcs   []uint32
+	taken []bool
+	seqs  []uint64
+	n     int
+}
+
+// NewSegmented builds a segmented recency stack. bounds must be a strictly
+// ascending list of depths; segment i covers unfiltered-history depths
+// [bounds[i], bounds[i+1]), so len(bounds)-1 segments are created. segSize
+// is the per-segment stack capacity (8 in the paper).
+func NewSegmented(bounds []int, segSize int) *Segmented {
+	if len(bounds) < 2 {
+		panic("rs: segmented needs at least two boundary depths")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("rs: segment bounds must be strictly ascending")
+		}
+	}
+	if bounds[0] < 1 {
+		panic("rs: first segment boundary must be >= 1")
+	}
+	if segSize < 1 {
+		panic("rs: segment size must be >= 1")
+	}
+	cap := 1
+	for cap < bounds[len(bounds)-1]+1 {
+		cap <<= 1
+	}
+	s := &Segmented{
+		bounds:  append([]int(nil), bounds...),
+		segSize: segSize,
+		segs:    make([]segment, len(bounds)-1),
+		ring:    history.NewRing(cap),
+	}
+	for i := range s.segs {
+		s.segs[i] = segment{
+			pcs:   make([]uint32, segSize),
+			taken: make([]bool, segSize),
+			seqs:  make([]uint64, segSize),
+		}
+	}
+	return s
+}
+
+// Commit records a committed branch and advances every segment: branches
+// crossing a segment's starting depth are inserted (if non-biased), and
+// entries that have sunk past a segment's ending depth are evicted.
+func (s *Segmented) Commit(e history.Entry) {
+	s.seq++
+	s.ring.Push(e)
+	for i := range s.segs {
+		start := uint64(s.bounds[i])
+		end := uint64(s.bounds[i+1])
+		seg := &s.segs[i]
+		// Evict entries that fell past the segment's end. Entries are in
+		// recency order, so only the tail can expire.
+		for seg.n > 0 && s.seq-seg.seqs[seg.n-1] >= end {
+			seg.n--
+		}
+		// The branch that just reached depth `start` enters this segment.
+		if s.seq < start {
+			continue
+		}
+		arriving, ok := s.ring.At(int(start))
+		if !ok || !arriving.NonBiased {
+			continue
+		}
+		seg.insert(arriving.HashedPC, arriving.Taken, s.seq-start)
+	}
+}
+
+// insert places (pc, taken) at the top of the segment, evicting any
+// existing same-address entry; when full, the deepest entry is dropped
+// (the paper's correlation-redundancy argument, §V-B2, says losing the
+// overflow is acceptable).
+func (g *segment) insert(pc uint32, taken bool, seq uint64) {
+	hit := -1
+	for i := 0; i < g.n; i++ {
+		if g.pcs[i] == pc {
+			hit = i
+			break
+		}
+	}
+	switch {
+	case hit >= 0:
+		copy(g.pcs[1:hit+1], g.pcs[:hit])
+		copy(g.taken[1:hit+1], g.taken[:hit])
+		copy(g.seqs[1:hit+1], g.seqs[:hit])
+	case g.n < len(g.pcs):
+		copy(g.pcs[1:g.n+1], g.pcs[:g.n])
+		copy(g.taken[1:g.n+1], g.taken[:g.n])
+		copy(g.seqs[1:g.n+1], g.seqs[:g.n])
+		g.n++
+	default:
+		copy(g.pcs[1:], g.pcs[:g.n-1])
+		copy(g.taken[1:], g.taken[:g.n-1])
+		copy(g.seqs[1:], g.seqs[:g.n-1])
+	}
+	g.pcs[0] = pc
+	g.taken[0] = taken
+	g.seqs[0] = seq
+}
+
+// Segments returns the number of segments.
+func (s *Segmented) Segments() int { return len(s.segs) }
+
+// SegSize returns the per-segment capacity.
+func (s *Segmented) SegSize() int { return s.segSize }
+
+// SegmentLen returns the live entry count of segment i.
+func (s *Segmented) SegmentLen(i int) int { return s.segs[i].n }
+
+// SegmentEntry returns slot j of segment i (j = 0 most recent). Empty
+// slots return a zero Entry with ok=false; keeping the geometry fixed lets
+// BF-TAGE build a stable-width BF-GHR bit vector.
+func (s *Segmented) SegmentEntry(i, j int) (Entry, bool) {
+	seg := &s.segs[i]
+	if j < 0 || j >= seg.n {
+		return Entry{}, false
+	}
+	return Entry{
+		PC:    uint64(seg.pcs[j]),
+		Taken: seg.taken[j],
+		Dist:  s.seq - seg.seqs[j],
+	}, true
+}
+
+// AppendBFGHR appends the segmented stacks' outcome bits to dst in
+// increasing depth order — segment 0's slots first — with empty slots
+// contributing false. Together with the caller's recent unfiltered bits
+// this forms the paper's BF-GHR. dst is returned for append-style use.
+func (s *Segmented) AppendBFGHR(dst []bool) []bool {
+	for i := range s.segs {
+		seg := &s.segs[i]
+		for j := 0; j < s.segSize; j++ {
+			dst = append(dst, j < seg.n && seg.taken[j])
+		}
+	}
+	return dst
+}
+
+// AppendBFPCs appends the segmented stacks' hashed-address low bits
+// (1 bit per slot) to dst, same geometry as AppendBFGHR. BF-TAGE mixes
+// these into the index hash so that entries with identical outcomes but
+// different addresses produce different contexts.
+func (s *Segmented) AppendBFPCs(dst []bool) []bool {
+	for i := range s.segs {
+		seg := &s.segs[i]
+		for j := 0; j < s.segSize; j++ {
+			dst = append(dst, j < seg.n && seg.pcs[j]&1 != 0)
+		}
+	}
+	return dst
+}
+
+// Bits returns the total BF-GHR contribution in bits (segments × segSize).
+func (s *Segmented) Bits() int { return len(s.segs) * s.segSize }
+
+// Ring exposes the underlying unfiltered-history ring (depth 1 = newest).
+func (s *Segmented) Ring() *history.Ring { return s.ring }
+
+// StorageBits budgets each slot at 16 bits (hashed address + outcome +
+// bookkeeping), matching the paper's Table I "RS: 142 entries × 16 bits".
+func (s *Segmented) StorageBits() int { return s.Bits() * 16 }

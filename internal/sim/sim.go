@@ -1,0 +1,258 @@
+// Package sim is the trace-driven evaluation harness, modelled on the
+// Championship Branch Prediction (CBP) framework the paper uses (§VI-A):
+// for each committed conditional branch the predictor is asked for a
+// direction, then trained with the true outcome, and accuracy is reported
+// as MPKI — mispredictions per 1000 instructions.
+//
+// The harness also supports a delayed-update mode in which training lags
+// prediction by a configurable number of branches, modelling in-flight
+// instructions in a real pipeline. ISL-TAGE's Immediate Update Mimicker
+// exists precisely to recover the accuracy lost to that delay, so the
+// ablation benches exercise both modes.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"bfbp/internal/trace"
+)
+
+// Predictor is the interface every branch predictor implements. Predict is
+// called before Update for each committed branch; implementations must not
+// train any state in Predict.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint64, taken bool, target uint64)
+}
+
+// StorageAccounter is implemented by predictors that can report their
+// hardware budget, mirroring the paper's Table I accounting.
+type StorageAccounter interface {
+	Storage() Breakdown
+}
+
+// TableHitReporter is implemented by TAGE-class predictors that track
+// which tagged table provided each prediction; Fig. 12 plots these
+// distributions.
+type TableHitReporter interface {
+	// TableHits returns provider counts indexed by table number, where
+	// index 0 is the base predictor and 1..N the tagged tables.
+	TableHits() []uint64
+}
+
+// Breakdown is an itemised storage budget.
+type Breakdown struct {
+	Name       string
+	Components []Component
+}
+
+// Component is one line of a storage budget.
+type Component struct {
+	Name string
+	Bits int
+}
+
+// TotalBits sums the component budgets.
+func (b Breakdown) TotalBits() int {
+	t := 0
+	for _, c := range b.Components {
+		t += c.Bits
+	}
+	return t
+}
+
+// TotalBytes returns the budget in bytes, rounding up.
+func (b Breakdown) TotalBytes() int { return (b.TotalBits() + 7) / 8 }
+
+// String renders the budget as a small table.
+func (b Breakdown) String() string {
+	s := fmt.Sprintf("%s storage:\n", b.Name)
+	for _, c := range b.Components {
+		s += fmt.Sprintf("  %-28s %8d bits (%d bytes)\n", c.Name, c.Bits, (c.Bits+7)/8)
+	}
+	s += fmt.Sprintf("  %-28s %8d bits (%d bytes)\n", "TOTAL", b.TotalBits(), b.TotalBytes())
+	return s
+}
+
+// Stats accumulates accuracy over a run.
+type Stats struct {
+	Branches     uint64
+	Mispredicts  uint64
+	Instructions uint64
+	perPC        map[uint64]*pcStat
+}
+
+type pcStat struct {
+	pc       uint64
+	count    uint64
+	mispreds uint64
+}
+
+// MPKI returns mispredictions per 1000 instructions.
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) * 1000 / float64(s.Instructions)
+}
+
+// MispredictRate returns the fraction of mispredicted branches.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Accuracy returns 1 - MispredictRate.
+func (s Stats) Accuracy() float64 { return 1 - s.MispredictRate() }
+
+// Offender is a per-PC misprediction summary.
+type Offender struct {
+	PC          uint64
+	Count       uint64
+	Mispredicts uint64
+}
+
+// TopOffenders returns the n PCs contributing the most mispredictions, in
+// descending order. It returns nil unless the run collected per-PC stats.
+func (s Stats) TopOffenders(n int) []Offender {
+	if s.perPC == nil {
+		return nil
+	}
+	all := make([]Offender, 0, len(s.perPC))
+	for _, st := range s.perPC {
+		all = append(all, Offender{PC: st.pc, Count: st.count, Mispredicts: st.mispreds})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Mispredicts != all[j].Mispredicts {
+			return all[i].Mispredicts > all[j].Mispredicts
+		}
+		return all[i].PC < all[j].PC
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// Options configures a run.
+type Options struct {
+	// Warmup is the number of initial branches excluded from the
+	// statistics (the predictor still trains on them).
+	Warmup uint64
+	// UpdateDelay is the number of branches by which training lags
+	// prediction, modelling in-flight instructions. 0 trains immediately,
+	// which matches the CBP framework and the paper's evaluation.
+	UpdateDelay int
+	// PerPC enables per-branch misprediction attribution.
+	PerPC bool
+}
+
+type pending struct {
+	pc     uint64
+	taken  bool
+	target uint64
+}
+
+// Run drives p over the trace and returns accuracy statistics.
+func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
+	stats := Stats{}
+	if opt.PerPC {
+		stats.perPC = make(map[uint64]*pcStat)
+	}
+	var queue []pending
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("sim: trace read: %w", err)
+		}
+		pred := p.Predict(rec.PC)
+		inWarmup := stats.Branches < opt.Warmup
+		stats.Branches++
+		if !inWarmup {
+			stats.Instructions += uint64(rec.Instret)
+			if pred != rec.Taken {
+				stats.Mispredicts++
+			}
+			if stats.perPC != nil {
+				st := stats.perPC[rec.PC]
+				if st == nil {
+					st = &pcStat{pc: rec.PC}
+					stats.perPC[rec.PC] = st
+				}
+				st.count++
+				if pred != rec.Taken {
+					st.mispreds++
+				}
+			}
+		}
+		if opt.UpdateDelay <= 0 {
+			p.Update(rec.PC, rec.Taken, rec.Target)
+			continue
+		}
+		queue = append(queue, pending{rec.PC, rec.Taken, rec.Target})
+		if len(queue) > opt.UpdateDelay {
+			u := queue[0]
+			queue = queue[1:]
+			p.Update(u.pc, u.taken, u.target)
+		}
+	}
+	for _, u := range queue {
+		p.Update(u.pc, u.taken, u.target)
+	}
+	// Warmup branches contribute no instructions; Branches keeps the full
+	// count so callers can verify trace coverage.
+	return stats, nil
+}
+
+// Result pairs a predictor name with its run statistics.
+type Result struct {
+	Predictor string
+	Stats     Stats
+}
+
+// RunAll evaluates several predictors over identical copies of a trace.
+// The source function must return a fresh Reader for each call.
+func RunAll(preds []Predictor, source func() trace.Reader, opt Options) ([]Result, error) {
+	out := make([]Result, 0, len(preds))
+	for _, p := range preds {
+		st, err := Run(p, source(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("sim: running %s: %w", p.Name(), err)
+		}
+		out = append(out, Result{Predictor: p.Name(), Stats: st})
+	}
+	return out, nil
+}
+
+// StaticPredictor is a trivial predictor that always answers the same
+// direction — the zero baseline of the field and a useful harness test
+// double.
+type StaticPredictor struct {
+	Direction bool
+}
+
+// Name implements Predictor.
+func (s *StaticPredictor) Name() string {
+	if s.Direction {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// Predict implements Predictor.
+func (s *StaticPredictor) Predict(pc uint64) bool { return s.Direction }
+
+// Update implements Predictor.
+func (s *StaticPredictor) Update(pc uint64, taken bool, target uint64) {}

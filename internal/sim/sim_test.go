@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+
+	"bfbp/internal/trace"
+)
+
+func mkTrace(outcomes []bool) trace.Slice {
+	recs := make(trace.Slice, len(outcomes))
+	for i, o := range outcomes {
+		recs[i] = trace.Record{PC: 0x100, Taken: o, Instret: 5}
+	}
+	return recs
+}
+
+func TestRunCountsMispredicts(t *testing.T) {
+	// static-taken over T,T,N,T,N: 2 mispredicts, 25 instructions.
+	tr := mkTrace([]bool{true, true, false, true, false})
+	st, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 5 || st.Mispredicts != 2 || st.Instructions != 25 {
+		t.Fatalf("stats = %+v, want 5 branches, 2 mispredicts, 25 insts", st)
+	}
+	wantMPKI := 2.0 * 1000 / 25
+	if st.MPKI() != wantMPKI {
+		t.Fatalf("MPKI = %v, want %v", st.MPKI(), wantMPKI)
+	}
+	if st.MispredictRate() != 0.4 {
+		t.Fatalf("rate = %v, want 0.4", st.MispredictRate())
+	}
+	if st.Accuracy() != 0.6 {
+		t.Fatalf("accuracy = %v, want 0.6", st.Accuracy())
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	tr := mkTrace([]bool{false, false, false, true, true})
+	st, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{Warmup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 5 {
+		t.Fatalf("Branches = %d, want full count 5", st.Branches)
+	}
+	if st.Mispredicts != 0 {
+		t.Fatalf("warmup mispredicts leaked: %d", st.Mispredicts)
+	}
+	if st.Instructions != 10 {
+		t.Fatalf("Instructions = %d, want 10 (post-warmup only)", st.Instructions)
+	}
+}
+
+func TestEmptyStatsZero(t *testing.T) {
+	var st Stats
+	if st.MPKI() != 0 || st.MispredictRate() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+}
+
+// recorder captures the interleaving of Predict and Update calls.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) Name() string { return "recorder" }
+func (r *recorder) Predict(pc uint64) bool {
+	r.events = append(r.events, "P")
+	return false
+}
+func (r *recorder) Update(pc uint64, taken bool, target uint64) {
+	r.events = append(r.events, "U")
+}
+
+func TestImmediateUpdateInterleaving(t *testing.T) {
+	tr := mkTrace([]bool{true, true, true})
+	rec := &recorder{}
+	if _, err := Run(rec, tr.Stream(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := "PUPUPU"
+	got := ""
+	for _, e := range rec.events {
+		got += e
+	}
+	if got != want {
+		t.Fatalf("event order = %s, want %s", got, want)
+	}
+}
+
+func TestDelayedUpdateInterleaving(t *testing.T) {
+	tr := mkTrace([]bool{true, true, true, true})
+	rec := &recorder{}
+	if _, err := Run(rec, tr.Stream(), Options{UpdateDelay: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for _, e := range rec.events {
+		got += e
+	}
+	// Predictions for branches 1..4; update of branch i happens after
+	// prediction of branch i+2; tail flushed at EOF.
+	want := "PPPUPUUU"
+	if got != want {
+		t.Fatalf("event order = %s, want %s", got, want)
+	}
+}
+
+func TestDelayedUpdateCompleteness(t *testing.T) {
+	tr := mkTrace(make([]bool, 50))
+	rec := &recorder{}
+	if _, err := Run(rec, tr.Stream(), Options{UpdateDelay: 7}); err != nil {
+		t.Fatal(err)
+	}
+	p, u := 0, 0
+	for _, e := range rec.events {
+		if e == "P" {
+			p++
+		} else {
+			u++
+		}
+	}
+	if p != 50 || u != 50 {
+		t.Fatalf("P=%d U=%d, want 50/50 (no dropped updates)", p, u)
+	}
+}
+
+func TestPerPCAttribution(t *testing.T) {
+	recs := trace.Slice{
+		{PC: 0xA, Taken: false, Instret: 5},
+		{PC: 0xB, Taken: true, Instret: 5},
+		{PC: 0xA, Taken: false, Instret: 5},
+	}
+	st, err := Run(&StaticPredictor{Direction: true}, recs.Stream(), Options{PerPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := st.TopOffenders(10)
+	if len(top) != 2 {
+		t.Fatalf("offenders = %d, want 2", len(top))
+	}
+	if top[0].PC != 0xA || top[0].Mispredicts != 2 || top[0].Count != 2 {
+		t.Fatalf("top offender = %+v, want PC 0xA with 2/2", top[0])
+	}
+	if top[1].Mispredicts != 0 {
+		t.Fatalf("0xB should have 0 mispredicts, got %d", top[1].Mispredicts)
+	}
+}
+
+func TestTopOffendersNilWithoutPerPC(t *testing.T) {
+	tr := mkTrace([]bool{true})
+	st, _ := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{})
+	if st.TopOffenders(5) != nil {
+		t.Fatal("TopOffenders must be nil when PerPC disabled")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	tr := mkTrace([]bool{true, true, false, true})
+	res, err := RunAll(
+		[]Predictor{&StaticPredictor{Direction: true}, &StaticPredictor{Direction: false}},
+		func() trace.Reader { return tr.Stream() },
+		Options{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if res[0].Stats.Mispredicts != 1 || res[1].Stats.Mispredicts != 3 {
+		t.Fatalf("mispredicts = %d/%d, want 1/3",
+			res[0].Stats.Mispredicts, res[1].Stats.Mispredicts)
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{Name: "x", Components: []Component{{"a", 10}, {"b", 7}}}
+	if b.TotalBits() != 17 {
+		t.Fatalf("TotalBits = %d, want 17", b.TotalBits())
+	}
+	if b.TotalBytes() != 3 {
+		t.Fatalf("TotalBytes = %d, want 3 (rounded up)", b.TotalBytes())
+	}
+	if b.String() == "" {
+		t.Fatal("String should render")
+	}
+}

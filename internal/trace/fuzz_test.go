@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFileReader feeds arbitrary bytes to the BFT1 decoder: it must never
+// panic or loop forever, and must either yield valid records or fail with
+// a descriptive error.
+func FuzzFileReader(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 20; i++ {
+		_ = w.Write(Record{PC: uint64(0x400000 + i*4), Taken: i%3 == 0, Instret: uint8(i%7 + 1)})
+	}
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("BFT1"))
+	f.Add([]byte("NOPE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewFileReader(bytes.NewReader(data))
+		count := 0
+		for {
+			rec, err := r.Read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadMagic) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) && err.Error() == "" {
+					t.Fatalf("empty error message")
+				}
+				return
+			}
+			if rec.Instret < 1 || rec.Instret > 128 {
+				t.Fatalf("decoded out-of-range instret %d", rec.Instret)
+			}
+			count++
+			if count > len(data)+1 {
+				t.Fatalf("decoder yielded more records (%d) than input bytes (%d)", count, len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Interleave merges several traces by round-robin quanta of the given
+// number of branches, modelling context switches between processes — the
+// scenario Evers et al. (the paper's reference [17]) built hybrid
+// predictors for. PCs from different traces are offset into disjoint
+// ranges so processes never share branch sites (a shared-predictor,
+// flushed-ASID model). The result ends when any input is exhausted, so
+// every process contributes equally.
+func Interleave(quantum int, traces ...Slice) Slice {
+	if quantum < 1 {
+		panic("trace: interleave quantum must be >= 1")
+	}
+	if len(traces) == 0 {
+		return nil
+	}
+	minLen := len(traces[0])
+	for _, tr := range traces[1:] {
+		if len(tr) < minLen {
+			minLen = len(tr)
+		}
+	}
+	rounds := minLen / quantum
+	out := make(Slice, 0, rounds*quantum*len(traces))
+	for r := 0; r < rounds; r++ {
+		for ti, tr := range traces {
+			offset := uint64(ti) << 40
+			for _, rec := range tr[r*quantum : (r+1)*quantum] {
+				rec.PC += offset
+				rec.Target += offset
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+// InterleaveReaders is the streaming form of Interleave: it yields quanta
+// from each reader in turn and stops at the first EOF.
+func InterleaveReaders(quantum int, readers ...Reader) Reader {
+	if quantum < 1 {
+		panic("trace: interleave quantum must be >= 1")
+	}
+	s := &interleaver{quantum: quantum, readers: readers}
+	return Func(s.next)
+}
+
+type interleaver struct {
+	quantum int
+	readers []Reader
+	cur     int
+	emitted int
+	done    bool
+}
+
+func (s *interleaver) next() (Record, error) {
+	if s.done || len(s.readers) == 0 {
+		return Record{}, io.EOF
+	}
+	if s.emitted >= s.quantum {
+		s.emitted = 0
+		s.cur = (s.cur + 1) % len(s.readers)
+	}
+	rec, err := s.readers[s.cur].Read()
+	if err != nil {
+		s.done = true
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	s.emitted++
+	offset := uint64(s.cur) << 40
+	rec.PC += offset
+	rec.Target += offset
+	return rec, nil
+}

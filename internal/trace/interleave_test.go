@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+)
+
+func seq(pcBase uint64, n int) Slice {
+	out := make(Slice, n)
+	for i := range out {
+		out[i] = Record{PC: pcBase + uint64(i)*4, Taken: true, Instret: 5}
+	}
+	return out
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := seq(0x100, 6)
+	b := seq(0x100, 6)
+	out := Interleave(2, a, b)
+	if len(out) != 12 {
+		t.Fatalf("len = %d, want 12", len(out))
+	}
+	// Quanta: a[0:2], b[0:2], a[2:4], b[2:4], ...
+	if out[0].PC != 0x100 || out[1].PC != 0x104 {
+		t.Fatal("first quantum should come from trace 0 unshifted")
+	}
+	if out[2].PC != 0x100+(1<<40) {
+		t.Fatalf("second quantum PC = %#x, want offset by 1<<40", out[2].PC)
+	}
+	if out[4].PC != 0x108 {
+		t.Fatalf("third quantum should resume trace 0 at record 2, got %#x", out[4].PC)
+	}
+}
+
+func TestInterleaveTruncatesToShortest(t *testing.T) {
+	a := seq(0x100, 10)
+	b := seq(0x200, 4)
+	out := Interleave(2, a, b)
+	// Shortest has 4 records -> 2 rounds x 2 quanta x 2 traces = 8.
+	if len(out) != 8 {
+		t.Fatalf("len = %d, want 8", len(out))
+	}
+}
+
+func TestInterleaveDisjointPCs(t *testing.T) {
+	a := seq(0x100, 4)
+	b := seq(0x100, 4) // identical PCs on purpose
+	out := Interleave(2, a, b)
+	seen := map[uint64]int{}
+	for _, rec := range out {
+		seen[rec.PC]++
+	}
+	for pc, n := range seen {
+		if n != 1 {
+			t.Fatalf("pc %#x appears %d times; processes must not share sites", pc, n)
+		}
+	}
+}
+
+func TestInterleaveReadersStreaming(t *testing.T) {
+	a := seq(0x100, 5)
+	b := seq(0x200, 3)
+	out, err := Collect(InterleaveReaders(2, a.Stream(), b.Stream()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a[0:2], b[0:2], a[2:4], b[2] then EOF on b's 4th read... the
+	// streaming form stops at first EOF: a0,a1,b0,b1,a2,a3,b2 -> EOF.
+	if len(out) != 7 {
+		t.Fatalf("len = %d, want 7", len(out))
+	}
+	if out[6].PC != 0x208+(1<<40) {
+		t.Fatalf("last record = %#x", out[6].PC)
+	}
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantum 0 did not panic")
+		}
+	}()
+	Interleave(0, seq(0, 2))
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	if out := Interleave(4); out != nil {
+		t.Fatal("no traces should produce nil")
+	}
+}

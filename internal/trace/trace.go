@@ -1,0 +1,251 @@
+// Package trace defines the branch-trace model used throughout the
+// repository and a compact binary on-disk format for it.
+//
+// A trace is a sequence of committed conditional-branch records, mirroring
+// the Championship Branch Prediction (CBP) evaluation discipline: the
+// simulator asks the predictor for a direction at each record, then reveals
+// the true outcome for training. Each record also carries the number of
+// instructions retired since the previous record (including the branch
+// itself) so that accuracy can be reported as MPKI — mispredictions per
+// 1000 instructions — exactly as the paper does.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one committed conditional branch.
+type Record struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the taken target address. Synthetic traces populate it so
+	// that target-sensitive structures (e.g. loop predictors keyed by
+	// backward branches) see realistic values; it may be zero.
+	Target uint64
+	// Taken is the resolved direction.
+	Taken bool
+	// Instret is the number of instructions retired since the previous
+	// record, inclusive of this branch (so it is always >= 1).
+	Instret uint8
+}
+
+// Reader yields trace records in commit order. Read returns io.EOF after
+// the final record.
+type Reader interface {
+	Read() (Record, error)
+}
+
+// Slice is an in-memory trace. It implements Reader via Stream.
+type Slice []Record
+
+// Stream returns a Reader over the slice.
+func (s Slice) Stream() Reader { return &sliceReader{recs: s} }
+
+type sliceReader struct {
+	recs Slice
+	pos  int
+}
+
+func (r *sliceReader) Read() (Record, error) {
+	if r.pos >= len(r.recs) {
+		return Record{}, io.EOF
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Instructions returns the total retired-instruction count of the trace.
+func (s Slice) Instructions() uint64 {
+	var n uint64
+	for _, r := range s {
+		n += uint64(r.Instret)
+	}
+	return n
+}
+
+// Collect drains a Reader into a Slice. It is intended for tests and small
+// traces; experiment binaries stream instead.
+func Collect(r Reader) (Slice, error) {
+	var out Slice
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Binary format
+//
+//	magic   [4]byte "BFT1"
+//	records *(varint pcDelta_zigzag, varint targetDelta_zigzag, byte flags)
+//
+// flags bit0 = taken, bits 1..7 = instret-1 (1..128 instructions).
+// PCs and targets are delta-encoded against the previous record's values,
+// zigzag-coded; branch working sets are compact so deltas are short.
+
+var magic = [4]byte{'B', 'F', 'T', '1'}
+
+// ErrBadMagic reports that a stream does not start with the trace magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a BFT1 trace)")
+
+const maxInstret = 128
+
+// Writer encodes records to an io.Writer in the BFT1 format.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	prevTg uint64
+	n      uint64
+	wrote  bool
+}
+
+// NewWriter returns a Writer that emits the trace header immediately on
+// first Write.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	if !w.wrote {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	if rec.Instret == 0 || rec.Instret > maxInstret {
+		return fmt.Errorf("trace: instret %d out of range [1,%d]", rec.Instret, maxInstret)
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], zigzag(int64(rec.PC-w.prevPC)))
+	n += binary.PutUvarint(buf[n:], zigzag(int64(rec.Target-w.prevTg)))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	flags := byte(rec.Instret-1) << 1
+	if rec.Taken {
+		flags |= 1
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	w.prevPC, w.prevTg = rec.PC, rec.Target
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered output. It must be called before closing the
+// underlying writer.
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		// An empty trace is still a valid trace: emit the header.
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	return w.w.Flush()
+}
+
+// FileReader decodes the BFT1 format. It implements Reader.
+type FileReader struct {
+	r      *bufio.Reader
+	prevPC uint64
+	prevTg uint64
+	began  bool
+}
+
+// NewFileReader wraps r. The header is validated lazily on first Read.
+func NewFileReader(r io.Reader) *FileReader {
+	return &FileReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record or io.EOF.
+func (fr *FileReader) Read() (Record, error) {
+	if !fr.began {
+		var m [4]byte
+		if _, err := io.ReadFull(fr.r, m[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, ErrBadMagic
+			}
+			return Record{}, err
+		}
+		if m != magic {
+			return Record{}, ErrBadMagic
+		}
+		fr.began = true
+	}
+	dpc, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: corrupt pc delta: %w", err)
+	}
+	dtg, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: corrupt target delta: %w", eofIsCorrupt(err))
+	}
+	flags, err := fr.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: corrupt flags: %w", eofIsCorrupt(err))
+	}
+	fr.prevPC += uint64(unzigzag(dpc))
+	fr.prevTg += uint64(unzigzag(dtg))
+	return Record{
+		PC:      fr.prevPC,
+		Target:  fr.prevTg,
+		Taken:   flags&1 != 0,
+		Instret: (flags >> 1) + 1,
+	}, nil
+}
+
+func eofIsCorrupt(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Limit returns a Reader that yields at most n records from r.
+func Limit(r Reader, n uint64) Reader { return &limitReader{r: r, left: n} }
+
+type limitReader struct {
+	r    Reader
+	left uint64
+}
+
+func (l *limitReader) Read() (Record, error) {
+	if l.left == 0 {
+		return Record{}, io.EOF
+	}
+	rec, err := l.r.Read()
+	if err != nil {
+		return Record{}, err
+	}
+	l.left--
+	return rec, nil
+}
+
+// Func adapts a generator function to the Reader interface. The function
+// should return io.EOF when the trace ends.
+type Func func() (Record, error)
+
+// Read calls f.
+func (f Func) Read() (Record, error) { return f() }

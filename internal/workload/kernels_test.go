@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+)
+
+// drive runs a kernel for n steps and returns the emitted records.
+func drive(k kernel, steps int) []traceRec {
+	e := &emitter{r: rng.New(9), target: 1 << 30}
+	for i := 0; i < steps; i++ {
+		k.step(e)
+	}
+	out := make([]traceRec, len(e.out))
+	for i, r := range e.out {
+		out[i] = traceRec{pc: r.PC, taken: r.Taken}
+	}
+	return out
+}
+
+type traceRec struct {
+	pc    uint64
+	taken bool
+}
+
+func TestPadBiasedIsCompletelyBiased(t *testing.T) {
+	r := rng.New(1)
+	reg := &region{}
+	k := newPadBiased(r, reg, 8, 4)
+	recs := drive(k, 200)
+	dirs := map[uint64]bool{}
+	for _, rec := range recs {
+		if prev, ok := dirs[rec.pc]; ok && prev != rec.taken {
+			t.Fatalf("pad site %#x flipped direction", rec.pc)
+		}
+		dirs[rec.pc] = rec.taken
+	}
+	if len(dirs) != 8 {
+		t.Fatalf("pad used %d sites, want 8", len(dirs))
+	}
+}
+
+func TestPadNoisyIsNonBiasedButPatterned(t *testing.T) {
+	r := rng.New(2)
+	reg := &region{}
+	k := newPadNoisy(r, reg, 4)
+	recs := drive(k, 100)
+	seen := map[uint64][2]int{}
+	for _, rec := range recs {
+		v := seen[rec.pc]
+		if rec.taken {
+			v[0]++
+		} else {
+			v[1]++
+		}
+		seen[rec.pc] = v
+	}
+	for pc, v := range seen {
+		if v[0] == 0 || v[1] == 0 {
+			t.Fatalf("noisy site %#x is biased (%d/%d)", pc, v[0], v[1])
+		}
+		// Alternating per site: counts within 1 of each other.
+		if d := v[0] - v[1]; d < -1 || d > 1 {
+			t.Fatalf("noisy site %#x not alternating (%d vs %d)", pc, v[0], v[1])
+		}
+	}
+}
+
+func TestChainCorrelation(t *testing.T) {
+	r := rng.New(3)
+	reg := &region{}
+	k := newChain(r, reg, 6, 30, 16, 8, 0)
+	recs := drive(k, 50)
+	// Find src and dst occurrences and verify every dst equals
+	// src xor its fixed polarity across all rounds.
+	pol := map[uint64]*struct {
+		set bool
+		v   bool
+	}{}
+	var src bool
+	for _, rec := range recs {
+		switch {
+		case rec.pc == k.srcPC:
+			src = rec.taken
+		case rec.pc >= k.dstPCs[0] && rec.pc <= k.dstPCs[len(k.dstPCs)-1]:
+			p := pol[rec.pc]
+			if p == nil {
+				p = &struct {
+					set bool
+					v   bool
+				}{}
+				pol[rec.pc] = p
+			}
+			got := rec.taken != src
+			if !p.set {
+				p.set = true
+				p.v = got
+			} else if p.v != got {
+				t.Fatalf("chain link %#x polarity inconsistent", rec.pc)
+			}
+		}
+	}
+	if len(pol) != 6 {
+		t.Fatalf("saw %d chain links, want 6", len(pol))
+	}
+}
+
+func TestChainGapExact(t *testing.T) {
+	r := rng.New(4)
+	reg := &region{}
+	k := newChain(r, reg, 3, 25, 10, 6, 0)
+	recs := drive(k, 1)
+	// Round layout: preRoll pads, src, [gap pads, dst] x3.
+	if len(recs) != 10+1+3*26 {
+		t.Fatalf("round length = %d, want %d", len(recs), 10+1+3*26)
+	}
+	if recs[10].pc != k.srcPC {
+		t.Fatalf("src not at position preRoll")
+	}
+	for j := 0; j < 3; j++ {
+		pos := 10 + 1 + j*26 + 25
+		if recs[pos].pc != k.dstPCs[j] {
+			t.Fatalf("dst %d at position %d is %#x, want %#x", j, pos, recs[pos].pc, k.dstPCs[j])
+		}
+	}
+}
+
+func TestBraidIndependentPairs(t *testing.T) {
+	r := rng.New(5)
+	reg := &region{}
+	k := newBraid(r, reg, 2, 50, 8, 6)
+	recs := drive(k, 300)
+	// Each dst must track its own src (xor fixed polarity); collect per
+	// round and verify.
+	var srcs [2]bool
+	matches := [2]map[bool]int{{}, {}}
+	for _, rec := range recs {
+		for i := 0; i < 2; i++ {
+			if rec.pc == k.srcPCs[i] {
+				srcs[i] = rec.taken
+			}
+			if rec.pc == k.dstPCs[i] {
+				matches[i][rec.taken != srcs[i]]++
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if len(matches[i]) != 1 {
+			t.Fatalf("braid pair %d polarity inconsistent: %v", i, matches[i])
+		}
+	}
+}
+
+func TestClusterFollowersTrackLeader(t *testing.T) {
+	r := rng.New(6)
+	reg := &region{}
+	k := newCluster(r, reg, 10, 0, 1)
+	recs := drive(k, 200)
+	var lead bool
+	consistent := map[uint64]map[bool]int{}
+	for _, rec := range recs {
+		if rec.pc == k.leaderPC {
+			lead = rec.taken
+			continue
+		}
+		for _, f := range k.followers {
+			if rec.pc == f {
+				m := consistent[rec.pc]
+				if m == nil {
+					m = map[bool]int{}
+					consistent[rec.pc] = m
+				}
+				m[rec.taken != lead]++
+			}
+		}
+	}
+	if len(consistent) != 10 {
+		t.Fatalf("saw %d followers, want 10", len(consistent))
+	}
+	for pc, m := range consistent {
+		if len(m) != 1 {
+			t.Fatalf("follower %#x polarity inconsistent: %v", pc, m)
+		}
+	}
+}
+
+func TestClusterPeriodicLeader(t *testing.T) {
+	r := rng.New(7)
+	reg := &region{}
+	k := newCluster(r, reg, 4, 2, 0)
+	recs := drive(k, 100)
+	var outcomes []bool
+	for _, rec := range recs {
+		if rec.pc == k.leaderPC {
+			outcomes = append(outcomes, rec.taken)
+		}
+	}
+	for i := 1; i < len(outcomes); i++ {
+		if outcomes[i] == outcomes[i-1] {
+			t.Fatalf("period-2 leader repeated at step %d", i)
+		}
+	}
+}
+
+func TestSafeRoundDepthMonotone(t *testing.T) {
+	prev := 0
+	for _, d := range []int{5, 12, 30, 60, 120, 250, 450, 700, 1100, 1500} {
+		r := safeRoundDepth(d)
+		if r < d {
+			t.Fatalf("safeRoundDepth(%d) = %d < distance", d, r)
+		}
+		if r < prev {
+			t.Fatalf("safeRoundDepth not monotone at %d: %d < %d", d, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSafeRoundCoversConventionalWindow(t *testing.T) {
+	// For every distance, the safe round must reach the smallest ISL-15
+	// history length that covers the source.
+	isl := []int{3, 8, 12, 17, 33, 35, 67, 97, 138, 195, 330, 517, 1193, 1741, 1930}
+	for d := 1; d <= 1500; d += 13 {
+		round := safeRoundDepth(d)
+		for _, l := range isl {
+			if l >= d+2 {
+				if round < l {
+					t.Fatalf("safeRoundDepth(%d) = %d < covering history %d", d, round, l)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestParityWindowClamped(t *testing.T) {
+	r := rng.New(8)
+	reg := &region{}
+	k := newParityCorr(r, reg, 3, 10)
+	if k.window != 3 {
+		t.Fatalf("window = %d, want clamped to 3 sources", k.window)
+	}
+}
+
+func TestPosLoopFig4Shape(t *testing.T) {
+	r := rng.New(9)
+	reg := &region{}
+	k := newPosLoop(r, reg, 10)
+	recs := drive(k, 500)
+	// X (xPC) must be taken only when the round's A was taken, and at
+	// most once per round.
+	var a bool
+	takenInRound := 0
+	for _, rec := range recs {
+		switch rec.pc {
+		case k.aPC:
+			a = rec.taken
+			takenInRound = 0
+		case k.xPC:
+			if rec.taken {
+				takenInRound++
+				if !a {
+					t.Fatal("X taken in a round where A was not taken")
+				}
+				if takenInRound > 1 {
+					t.Fatal("X taken more than once per round")
+				}
+			}
+		}
+	}
+}

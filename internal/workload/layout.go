@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"bfbp/internal/rng"
+)
+
+// RegionInfo describes one kernel's PC allocation, for analysis tools
+// that attribute per-PC statistics back to workload structures.
+type RegionInfo struct {
+	// Kind is the kernel type name (e.g. "chain", "cluster").
+	Kind string
+	// Base is the first PC allocated to the kernel.
+	Base uint64
+	// End is one past the last PC of the kernel's allocation.
+	End uint64
+}
+
+// Contains reports whether pc falls inside the region.
+func (ri RegionInfo) Contains(pc uint64) bool {
+	return pc >= ri.Base && pc < ri.End
+}
+
+// String implements fmt.Stringer.
+func (ri RegionInfo) String() string {
+	return fmt.Sprintf("%-12s %#x..%#x", ri.Kind, ri.Base, ri.End)
+}
+
+// Layout constructs the trace's kernels (without generating records) and
+// returns each kernel's PC span in construction order, including any
+// padding pools the kernel owns.
+func (s Spec) Layout() []RegionInfo {
+	reg := &region{}
+	r := rng.New(s.Seed)
+	var infos []RegionInfo
+	for _, a := range s.profile.adders {
+		startNext := reg.next
+		k := a.make(r, reg)
+		base := 0x400000 + startNext<<6
+		end := 0x400000 + reg.next<<6
+		infos = append(infos, RegionInfo{Kind: kindOf(k), Base: base, End: end})
+	}
+	return infos
+}
+
+// KindOf returns the kernel kind containing pc, or "" when unmapped.
+func KindOf(layout []RegionInfo, pc uint64) string {
+	for _, ri := range layout {
+		if ri.Contains(pc) {
+			return ri.Kind
+		}
+	}
+	return ""
+}
+
+func kindOf(k kernel) string {
+	switch k.(type) {
+	case *padBiased:
+		return "padBiased"
+	case *padNoisy:
+		return "padNoisy"
+	case *corrPair:
+		return "corrPair"
+	case *braid:
+		return "braid"
+	case *chain:
+		return "chain"
+	case *posLoop:
+		return "posLoop"
+	case *localPattern:
+		return "local"
+	case *constLoop:
+		return "constLoop"
+	case *phaseBranch:
+		return "phase"
+	case *randomNoise:
+		return "noise"
+	case *parityCorr:
+		return "parity"
+	case *cluster:
+		return "cluster"
+	case *funcCall:
+		return "funcCall"
+	case *selfCorr:
+		return "selfCorr"
+	case *bigFoot:
+		return "bigFoot"
+	default:
+		return fmt.Sprintf("%T", k)
+	}
+}

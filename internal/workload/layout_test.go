@@ -1,0 +1,71 @@
+package workload
+
+import "testing"
+
+func TestLayoutCoversTrace(t *testing.T) {
+	s, _ := ByName("SPEC05")
+	layout := s.Layout()
+	if len(layout) == 0 {
+		t.Fatal("empty layout")
+	}
+	tr := s.GenerateN(30000)
+	for _, rec := range tr {
+		if KindOf(layout, rec.PC) == "" {
+			t.Fatalf("pc %#x not covered by any region", rec.PC)
+		}
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	s, _ := ByName("INT4")
+	layout := s.Layout()
+	for i := 1; i < len(layout); i++ {
+		if layout[i].Base < layout[i-1].End {
+			t.Fatalf("regions overlap: %v then %v", layout[i-1], layout[i])
+		}
+	}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	s, _ := ByName("SERV2")
+	a := s.Layout()
+	b := s.Layout()
+	if len(a) != len(b) {
+		t.Fatal("layout lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layout differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLayoutKindsKnown(t *testing.T) {
+	s, _ := ByName("SPEC00")
+	for _, ri := range s.Layout() {
+		switch ri.Kind {
+		case "padBiased", "padNoisy", "corrPair", "braid", "chain", "posLoop",
+			"local", "constLoop", "phase", "noise", "parity", "cluster",
+			"funcCall", "selfCorr", "bigFoot":
+		default:
+			t.Fatalf("unknown kernel kind %q", ri.Kind)
+		}
+	}
+}
+
+func TestKindOfMiss(t *testing.T) {
+	s, _ := ByName("FP1")
+	if KindOf(s.Layout(), 0x1) != "" {
+		t.Fatal("pc 0x1 should be unmapped")
+	}
+}
+
+func TestRegionInfoString(t *testing.T) {
+	ri := RegionInfo{Kind: "chain", Base: 0x400000, End: 0x400100}
+	if ri.String() == "" {
+		t.Fatal("empty String")
+	}
+	if !ri.Contains(0x400000) || ri.Contains(0x400100) {
+		t.Fatal("Contains boundary semantics wrong")
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"errors"
+	"io"
+
+	"bfbp/internal/trace"
+)
+
+// BiasStats summarises how biased a trace's branch population is, in both
+// the static (per-site) and dynamic (per-execution) senses. The paper's
+// Fig. 2 plots the dynamic fraction: the share of the dynamic branch
+// stream contributed by completely biased branches.
+type BiasStats struct {
+	// StaticSites is the number of distinct branch PCs observed.
+	StaticSites int
+	// StaticBiased is the number of sites whose every dynamic instance
+	// resolved in one direction.
+	StaticBiased int
+	// DynamicBranches is the total dynamic branch count.
+	DynamicBranches uint64
+	// DynamicBiased is the dynamic count contributed by completely
+	// biased sites.
+	DynamicBiased uint64
+}
+
+// StaticFraction is the share of branch sites that are completely biased.
+func (b BiasStats) StaticFraction() float64 {
+	if b.StaticSites == 0 {
+		return 0
+	}
+	return float64(b.StaticBiased) / float64(b.StaticSites)
+}
+
+// DynamicFraction is the share of the dynamic stream from biased sites —
+// the quantity in the paper's Fig. 2.
+func (b BiasStats) DynamicFraction() float64 {
+	if b.DynamicBranches == 0 {
+		return 0
+	}
+	return float64(b.DynamicBiased) / float64(b.DynamicBranches)
+}
+
+// ProfileBias performs the two-pass completely-biased classification of
+// the paper's §I footnote over a trace.
+func ProfileBias(r trace.Reader) (BiasStats, error) {
+	type siteInfo struct {
+		taken, notTaken uint64
+	}
+	sites := make(map[uint64]*siteInfo)
+	var total uint64
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return BiasStats{}, err
+		}
+		total++
+		si := sites[rec.PC]
+		if si == nil {
+			si = &siteInfo{}
+			sites[rec.PC] = si
+		}
+		if rec.Taken {
+			si.taken++
+		} else {
+			si.notTaken++
+		}
+	}
+	st := BiasStats{StaticSites: len(sites), DynamicBranches: total}
+	for _, si := range sites {
+		if si.taken == 0 || si.notTaken == 0 {
+			st.StaticBiased++
+			st.DynamicBiased += si.taken + si.notTaken
+		}
+	}
+	return st, nil
+}
