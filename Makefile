@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the concurrency-sensitive packages (suite engine
+# worker pool + the experiment runner built on it).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -18,6 +18,7 @@
 package bfbp
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -51,12 +52,40 @@ type (
 	TableHitReporter = sim.TableHitReporter
 	// Stats holds accuracy results of a run.
 	Stats = sim.Stats
-	// Options configures a run (warmup, update delay, per-PC stats).
+	// WindowStat is one fixed-branch-window slice of a run's MPKI series.
+	WindowStat = sim.WindowStat
+	// Options configures a run (warmup, update delay, per-PC stats,
+	// windowed metrics).
 	Options = sim.Options
 	// Result pairs a predictor name with its stats.
 	Result = sim.Result
 	// Breakdown is an itemised storage budget.
 	Breakdown = sim.Breakdown
+)
+
+// Suite-engine types, re-exported from the harness.
+type (
+	// Engine evaluates (predictor × trace) matrices on a worker pool with
+	// deterministic result ordering and context cancellation.
+	Engine = sim.Engine
+	// Job is one cell of an evaluation matrix.
+	Job = sim.Job
+	// PredictorSpec names a predictor and constructs fresh instances.
+	PredictorSpec = sim.PredictorSpec
+	// TraceSource names a trace and opens fresh readers over it.
+	TraceSource = sim.TraceSource
+	// FuncSource adapts a label and open function to TraceSource.
+	FuncSource = sim.FuncSource
+	// SpecSource is the streaming TraceSource of a synthetic trace spec;
+	// build one with TraceSpec.Source(n).
+	SpecSource = workload.SpecSource
+	// TraceSliceSource is the in-memory TraceSource of a materialised
+	// trace; build one with Trace.Source(name).
+	TraceSliceSource = trace.NamedSlice
+	// RunResult is one completed engine cell.
+	RunResult = sim.RunResult
+	// ProgressEvent reports one completed engine cell.
+	ProgressEvent = sim.ProgressEvent
 )
 
 // Trace types.
@@ -84,10 +113,39 @@ func Run(p Predictor, r TraceReader, opt Options) (Stats, error) {
 	return sim.Run(p, r, opt)
 }
 
-// RunAll evaluates several predictors over identical copies of a trace.
-func RunAll(preds []Predictor, source func() TraceReader, opt Options) ([]Result, error) {
-	return sim.RunAll(preds, func() trace.Reader { return source() }, opt)
+// RunContext is Run with context cancellation: it aborts with ctx's
+// error as soon as ctx is cancelled.
+func RunContext(ctx context.Context, p Predictor, r TraceReader, opt Options) (Stats, error) {
+	return sim.RunContext(ctx, p, r, opt)
 }
+
+// RunAllSource evaluates several predictors over identical copies of a
+// trace source, opening a fresh reader per predictor.
+func RunAllSource(preds []Predictor, src TraceSource, opt Options) ([]Result, error) {
+	return sim.RunAll(preds, src, opt)
+}
+
+// RunAll evaluates several predictors over identical copies of a trace.
+//
+// Compat adapter for the pre-TraceSource API: new code should pass a
+// TraceSource to RunAllSource (or run a matrix on an Engine).
+func RunAll(preds []Predictor, source func() TraceReader, opt Options) ([]Result, error) {
+	return RunAllSource(preds, FuncSource{Label: "trace", OpenFn: func() trace.Reader { return source() }}, opt)
+}
+
+// Matrix builds the cross product of sources × predictors as engine
+// jobs, in source-major order.
+func Matrix(sources []TraceSource, preds []PredictorSpec, opt Options) []Job {
+	return sim.Matrix(sources, preds, opt)
+}
+
+// WriteCSV emits engine results as CSV rows. Output is byte-identical
+// for a given matrix regardless of the engine's worker count.
+func WriteCSV(w io.Writer, results []RunResult) error { return sim.WriteCSV(w, results) }
+
+// WriteJSON emits engine results, including windowed MPKI series, as a
+// JSON document (schema "bfbp.suite.v1").
+func WriteJSON(w io.Writer, results []RunResult) error { return sim.WriteJSON(w, results) }
 
 // Traces returns the 40-trace benchmark suite in reporting order.
 func Traces() []TraceSpec { return workload.Traces() }

@@ -1,29 +1,34 @@
 // Command bfsim runs branch predictors over traces and reports MPKI,
-// mimicking the CBP evaluation flow.
+// mimicking the CBP evaluation flow. Multiple predictors and traces run
+// as a matrix on the suite engine: parallel workers, streaming synthetic
+// traces, Ctrl-C cancellation.
 //
 // Usage:
 //
 //	bfsim -p bf-neural -t SPEC03                 # synthetic trace by name
 //	bfsim -p bf-tage-10,isl-tage-15 -t SPEC03    # compare predictors
+//	bfsim -p bf-neural -t SPEC03,SERV1,MM2       # several traces
 //	bfsim -p tage-10 -f trace.bft                # trace from a file
 //	bfsim -p bf-neural -t SPEC03 -n 1000000      # trace length
+//	bfsim -p bf-neural -t SPEC03 -window 50000   # phase-resolved MPKI
+//	bfsim -p oh-snap,bf-neural -t all -csv       # engine CSV output
+//	bfsim -p bf-neural -t all -json -workers 4   # engine JSON output
 //	bfsim -p bf-tage-10 -t SERV3 -offenders 10   # top mispredicted PCs
 //	bfsim -p bf-tage-10 -t SPEC00 -tablehits     # provider histogram
 //	bfsim -p bf-neural -storage                  # storage budget only
 //	bfsim -list                                  # available predictors
 //
-// Predictor names: bimodal, gshare, local, tournament, yags, filter,
-// o-gehl, bf-gehl, strided, perceptron, perceptron-fhist, oh-snap,
-// tage-N, isl-tage-N (N in 4..15), bf-neural, bf-neural-32k,
-// bf-neural-fweights, bf-neural-ghist, bf-tage-N, bf-isl-tage-N
-// (N in 4..10). Use -list for the full set.
+// Predictor names come from the bfbp registry (use -list for the full
+// set with descriptions); -t accepts trace names, comma lists, or "all"
+// for the 40-trace suite.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
 
 	"bfbp"
@@ -32,12 +37,16 @@ import (
 
 func main() {
 	var (
-		preds     = flag.String("p", "bf-neural", "comma-separated predictor names")
-		traceName = flag.String("t", "", "synthetic trace name (e.g. SPEC03)")
+		preds     = flag.String("p", "bf-neural", "comma-separated registry predictor names")
+		traceName = flag.String("t", "", `synthetic trace name(s), comma-separated, or "all"`)
 		traceFile = flag.String("f", "", "trace file in BFT1 format")
 		branches  = flag.Int("n", 500_000, "dynamic branches for synthetic traces")
 		warmup    = flag.Int("warmup", -1, "warmup branches excluded from stats (-1 = 10%)")
 		delay     = flag.Int("delay", 0, "update delay in branches (pipeline model)")
+		window    = flag.Uint64("window", 0, "record an MPKI series per N post-warmup branches")
+		workers   = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+		csvOut    = flag.Bool("csv", false, "emit engine results as CSV")
+		jsonOut   = flag.Bool("json", false, "emit engine results (and window series) as JSON")
 		offenders = flag.Int("offenders", 0, "print the top-N mispredicted PCs")
 		tableHits = flag.Bool("tablehits", false, "print the provider-table histogram")
 		storage   = flag.Bool("storage", false, "print the storage budget and exit")
@@ -46,22 +55,24 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(predictorNames(), "\n"))
+		for _, info := range bfbp.Predictors() {
+			fmt.Printf("%-20s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 
-	var mks []func() bfbp.Predictor
+	var specs []bfbp.PredictorSpec
 	for _, name := range strings.Split(*preds, ",") {
-		mk, err := predictorByName(strings.TrimSpace(name))
+		info, err := bfbp.PredictorByName(strings.TrimSpace(name))
 		if err != nil {
 			fatal(err)
 		}
-		mks = append(mks, mk)
+		specs = append(specs, info.Spec())
 	}
 
 	if *storage {
-		for _, mk := range mks {
-			p := mk()
+		for _, spec := range specs {
+			p := spec.New()
 			if sa, ok := p.(bfbp.StorageAccounter); ok {
 				fmt.Print(sa.Storage().String())
 			} else {
@@ -71,53 +82,103 @@ func main() {
 		return
 	}
 
-	var tr bfbp.Trace
-	switch {
-	case *traceFile != "":
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		var cerr error
-		tr, cerr = trace.Collect(trace.NewFileReader(f))
-		if cerr != nil {
-			fatal(cerr)
-		}
-	case *traceName != "":
-		spec, ok := bfbp.TraceByName(*traceName)
-		if !ok {
-			fatal(fmt.Errorf("unknown trace %q (known: %s...)", *traceName, strings.Join(bfbp.TraceNames()[:5], ", ")))
-		}
-		tr = spec.GenerateN(*branches)
-	default:
-		fatal(fmt.Errorf("need -t <trace> or -f <file>"))
+	sources, defaultWarm, err := traceSources(*traceFile, *traceName, *branches)
+	if err != nil {
+		fatal(err)
 	}
 
-	warm := uint64(*warmup)
-	if *warmup < 0 {
-		warm = uint64(len(tr) / 10)
+	warm := uint64(defaultWarm)
+	if *warmup >= 0 {
+		warm = uint64(*warmup)
 	}
-	fmt.Printf("%-18s %10s %12s %10s\n", "predictor", "MPKI", "mispredicts", "accuracy")
-	for _, mk := range mks {
-		p := mk()
-		st, err := bfbp.Run(p, tr.Stream(), bfbp.Options{
+	eng := bfbp.Engine{
+		Workers: *workers,
+		Options: bfbp.Options{
 			Warmup:      warm,
 			UpdateDelay: *delay,
 			PerPC:       *offenders > 0,
-		})
-		if err != nil {
+			Window:      *window,
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := eng.Run(ctx, bfbp.Matrix(sources, specs, eng.Options))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *csvOut:
+		if err := bfbp.WriteCSV(os.Stdout, results); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-18s %10.3f %12d %9.2f%%\n", p.Name(), st.MPKI(), st.Mispredicts, 100*st.Accuracy())
-		if *offenders > 0 {
-			for _, o := range st.TopOffenders(*offenders) {
+	case *jsonOut:
+		if err := bfbp.WriteJSON(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+	default:
+		printText(results, len(sources) > 1, *offenders, *tableHits)
+	}
+}
+
+// traceSources resolves the -f/-t flags into engine trace sources and
+// the default warmup (10% of the trace length).
+func traceSources(file, names string, branches int) ([]bfbp.TraceSource, int, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		tr, err := trace.Collect(trace.NewFileReader(f))
+		if err != nil {
+			return nil, 0, err
+		}
+		return []bfbp.TraceSource{tr.Source(file)}, len(tr) / 10, nil
+	}
+	if names == "" {
+		return nil, 0, fmt.Errorf("need -t <trace> or -f <file>")
+	}
+	want := strings.Split(names, ",")
+	if names == "all" {
+		want = bfbp.TraceNames()
+	}
+	var out []bfbp.TraceSource
+	for _, name := range want {
+		spec, ok := bfbp.TraceByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown trace %q (known: %s...)", name, strings.Join(bfbp.TraceNames()[:5], ", "))
+		}
+		out = append(out, spec.Source(branches))
+	}
+	return out, branches / 10, nil
+}
+
+func printText(results []bfbp.RunResult, showTrace bool, offenders int, tableHits bool) {
+	if showTrace {
+		fmt.Printf("%-10s ", "trace")
+	}
+	fmt.Printf("%-18s %10s %12s %10s\n", "predictor", "MPKI", "mispredicts", "accuracy")
+	for _, r := range results {
+		if showTrace {
+			fmt.Printf("%-10s ", r.Trace)
+		}
+		fmt.Printf("%-18s %10.3f %12d %9.2f%%\n", r.Predictor, r.Stats.MPKI(), r.Stats.Mispredicts, 100*r.Stats.Accuracy())
+		if r.Stats.Window > 0 {
+			fmt.Printf("    window MPKI (per %d branches):", r.Stats.Window)
+			for _, w := range r.Stats.Windows {
+				fmt.Printf(" %.2f", w.MPKI())
+			}
+			fmt.Println()
+		}
+		if offenders > 0 {
+			for _, o := range r.Stats.TopOffenders(offenders) {
 				fmt.Printf("    pc %#x: %d/%d mispredicted (%.1f%%)\n",
 					o.PC, o.Mispredicts, o.Count, 100*float64(o.Mispredicts)/float64(o.Count))
 			}
 		}
-		if *tableHits {
-			if th, ok := p.(bfbp.TableHitReporter); ok {
+		if tableHits {
+			if th, ok := r.Instance.(bfbp.TableHitReporter); ok {
 				hits := th.TableHits()
 				var total uint64
 				for _, h := range hits {
@@ -132,91 +193,6 @@ func main() {
 			}
 		}
 	}
-}
-
-func predictorNames() []string {
-	names := []string{
-		"bimodal", "gshare", "local", "tournament", "yags", "filter",
-		"o-gehl", "bf-gehl", "strided",
-		"perceptron", "perceptron-fhist", "oh-snap",
-		"bf-neural", "bf-neural-32k",
-		"bf-neural-fweights", "bf-neural-ghist",
-	}
-	for n := 4; n <= 15; n++ {
-		names = append(names, fmt.Sprintf("tage-%d", n), fmt.Sprintf("isl-tage-%d", n))
-	}
-	for n := 4; n <= 10; n++ {
-		names = append(names, fmt.Sprintf("bf-tage-%d", n), fmt.Sprintf("bf-isl-tage-%d", n))
-	}
-	return names
-}
-
-func predictorByName(name string) (func() bfbp.Predictor, error) {
-	switch name {
-	case "bimodal":
-		return func() bfbp.Predictor { return bfbp.NewBimodal(1 << 14) }, nil
-	case "gshare":
-		return func() bfbp.Predictor { return bfbp.NewGShare(1<<16, 16) }, nil
-	case "local":
-		return func() bfbp.Predictor { return bfbp.NewLocal(1<<12, 10, 1<<15) }, nil
-	case "perceptron":
-		return func() bfbp.Predictor { return bfbp.NewPerceptron(bfbp.Perceptron64KB()) }, nil
-	case "perceptron-fhist":
-		return func() bfbp.Predictor {
-			c := bfbp.Perceptron64KB()
-			c.FoldedHistory = true
-			return bfbp.NewPerceptron(c)
-		}, nil
-	case "oh-snap":
-		return func() bfbp.Predictor { return bfbp.NewOHSNAP(bfbp.OHSNAP64KB()) }, nil
-	case "tournament":
-		return func() bfbp.Predictor { return bfbp.NewTournament(bfbp.Tournament64KB()) }, nil
-	case "yags":
-		return func() bfbp.Predictor { return bfbp.NewYAGS(bfbp.YAGS64KB()) }, nil
-	case "filter":
-		return func() bfbp.Predictor { return bfbp.NewFilter(bfbp.Filter64KB()) }, nil
-	case "o-gehl":
-		return func() bfbp.Predictor { return bfbp.NewGEHL(bfbp.GEHL64KB()) }, nil
-	case "bf-gehl":
-		return func() bfbp.Predictor { return bfbp.NewBFGEHL(bfbp.BFGEHL64KB()) }, nil
-	case "strided":
-		return func() bfbp.Predictor { return bfbp.NewStrided(bfbp.Strided64KB()) }, nil
-	case "bf-neural":
-		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeural64KB()) }, nil
-	case "bf-neural-32k":
-		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeural32KB()) }, nil
-	case "bf-neural-fweights":
-		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeuralAblation(bfbp.BFModeFilterWeights)) }, nil
-	case "bf-neural-ghist":
-		return func() bfbp.Predictor { return bfbp.NewBFNeural(bfbp.BFNeuralAblation(bfbp.BFModeBiasFreeGHR)) }, nil
-	}
-	for _, pat := range []struct {
-		prefix string
-		lo, hi int
-		mk     func(n int) func() bfbp.Predictor
-	}{
-		{"isl-tage-", 4, 15, func(n int) func() bfbp.Predictor {
-			return func() bfbp.Predictor { return bfbp.NewTAGE(bfbp.ISLTAGE(n)) }
-		}},
-		{"tage-", 1, 15, func(n int) func() bfbp.Predictor {
-			return func() bfbp.Predictor { return bfbp.NewTAGE(bfbp.TAGEBare(n)) }
-		}},
-		{"bf-isl-tage-", 4, 10, func(n int) func() bfbp.Predictor {
-			return func() bfbp.Predictor { return bfbp.NewBFTAGE(bfbp.BFISLTAGE(n)) }
-		}},
-		{"bf-tage-", 4, 10, func(n int) func() bfbp.Predictor {
-			return func() bfbp.Predictor { return bfbp.NewBFTAGE(bfbp.BFTAGEBare(n)) }
-		}},
-	} {
-		if strings.HasPrefix(name, pat.prefix) {
-			n, err := strconv.Atoi(strings.TrimPrefix(name, pat.prefix))
-			if err != nil || n < pat.lo || n > pat.hi {
-				return nil, fmt.Errorf("bfsim: %q needs a table count in [%d,%d]", name, pat.lo, pat.hi)
-			}
-			return pat.mk(n), nil
-		}
-	}
-	return nil, fmt.Errorf("bfsim: unknown predictor %q (use -list)", name)
 }
 
 func fatal(err error) {

@@ -1,5 +1,6 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section (§VI) on the synthetic trace suite.
+// evaluation section (§VI) on the synthetic trace suite, and runs full
+// (predictor × trace) suite sweeps on the parallel evaluation engine.
 //
 // Usage:
 //
@@ -10,18 +11,27 @@
 //	experiments -fig 8 -csv            # CSV output
 //	experiments -fig 8 -traces SPEC00,SPEC03
 //	experiments -fig 8 -long 2000000 -short 500000   # full-scale traces
+//	experiments -fig 8 -workers 16                   # engine parallelism
+//	experiments -suite                               # full matrix, CSV rows
+//	experiments -suite -json                         # + windowed MPKI series
+//	experiments -suite -preds oh-snap,bf-neural      # registry predictor set
 //
 // The -long/-short flags set the per-trace dynamic branch counts (the
-// paper used 15-30M and 3-5M; defaults here are laptop-scale).
+// paper used 15-30M and 3-5M; defaults here are laptop-scale). Suite
+// rows are deterministic: byte-identical output for any -workers value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"bfbp"
 	"bfbp/internal/experiments"
+	"bfbp/internal/sim"
 )
 
 func main() {
@@ -29,10 +39,14 @@ func main() {
 		figs          = flag.String("fig", "", "comma-separated figure numbers to regenerate (2,8,9,10,11,12,13)")
 		table         = flag.Int("table", 0, "table number to regenerate (1)")
 		all           = flag.Bool("all", false, "regenerate every figure and table")
+		suite         = flag.Bool("suite", false, "run the full (predictor x trace) suite matrix")
+		predNames     = flag.String("preds", "", "registry predictor names for -suite (default: headline set)")
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut       = flag.Bool("json", false, "emit -suite results as JSON (includes window series)")
 		long          = flag.Int("long", 800_000, "dynamic branches per SPEC trace")
 		short         = flag.Int("short", 300_000, "dynamic branches per short trace")
 		traces        = flag.String("traces", "", "comma-separated trace subset (default: all 40)")
+		workers       = flag.Int("workers", 0, "parallel engine workers (0 = min(GOMAXPROCS, 8))")
 		quiet         = flag.Bool("q", false, "suppress progress logging")
 		varianceTrace = flag.String("variance", "", "run a seed-variance study on the named trace")
 		seeds         = flag.Int("seeds", 5, "seed variants for -variance")
@@ -42,12 +56,18 @@ func main() {
 	cfg := experiments.Config{
 		LongBranches:  *long,
 		ShortBranches: *short,
+		Workers:       *workers,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
 	if *traces != "" {
 		cfg.TraceFilter = strings.Split(*traces, ",")
+	}
+
+	if *suite {
+		runSuite(cfg, *predNames, *jsonOut)
+		return
 	}
 
 	want := map[string]bool{}
@@ -110,4 +130,39 @@ func main() {
 		fmt.Print(experiments.Table1().String())
 		fmt.Printf("(paper total: 51100 bytes)\n\n")
 	}
+}
+
+// runSuite executes the full suite matrix on the engine and emits the
+// shared CSV/JSON result format. Ctrl-C cancels the sweep cleanly.
+func runSuite(cfg experiments.Config, predNames string, jsonOut bool) {
+	preds := experiments.SuitePredictors()
+	if predNames != "" {
+		preds = preds[:0]
+		for _, name := range strings.Split(predNames, ",") {
+			info, err := bfbp.PredictorByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			preds = append(preds, info.Spec())
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := experiments.Suite(ctx, cfg, preds)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		err = sim.WriteJSON(os.Stdout, results)
+	} else {
+		err = sim.WriteCSV(os.Stdout, results)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

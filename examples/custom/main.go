@@ -77,7 +77,6 @@ func b2u(b bool) uint64 {
 
 func main() {
 	spec, _ := bfbp.TraceByName("INT2")
-	tr := spec.GenerateN(150_000)
 
 	preds := []bfbp.Predictor{
 		newAgree(),
@@ -85,7 +84,9 @@ func main() {
 		bfbp.NewGShare(1<<15, 14),
 		bfbp.NewBFNeural(bfbp.BFNeural64KB()),
 	}
-	results, err := bfbp.RunAll(preds, func() bfbp.TraceReader { return tr.Stream() },
+	// Source streams the synthetic trace straight out of its generator —
+	// each predictor gets a fresh reader, nothing is materialised.
+	results, err := bfbp.RunAllSource(preds, spec.Source(150_000),
 		bfbp.Options{Warmup: 15_000})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -20,7 +22,6 @@ import (
 	"bfbp/internal/predictor/perceptron"
 	"bfbp/internal/predictor/tage"
 	"bfbp/internal/sim"
-	"bfbp/internal/trace"
 	"bfbp/internal/workload"
 )
 
@@ -164,9 +165,10 @@ func (t Table) RowByLabel(label string) (Row, bool) {
 	return Row{}, false
 }
 
-// runOne evaluates a fresh predictor built by mk over the trace.
-func runOne(tr trace.Slice, warmup uint64, mk func() sim.Predictor) float64 {
-	st, err := sim.Run(mk(), tr.Stream(), sim.Options{Warmup: warmup})
+// runOne evaluates a fresh predictor built by mk over a fresh reader
+// from the source.
+func runOne(src sim.TraceSource, warmup uint64, mk func() sim.Predictor) float64 {
+	st, err := sim.Run(mk(), src.Open(), sim.Options{Warmup: warmup})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: run failed: %v", err))
 	}
@@ -181,10 +183,10 @@ func Fig2(cfg Config) Table {
 		Title:   "Figure 2: Biased branches (% of dynamic branches from completely biased sites)",
 		Columns: []string{"biased%", "static-biased%", "sites"},
 	}
-	t.Rows = forEachTrace(cfg, func(s workload.Spec) Row {
+	t.Rows = forEach(cfg, func(s workload.Spec) Row {
 		n := cfg.branchesFor(s)
 		cfg.logf("fig2: %s (%d branches)\n", s.Name, n)
-		st, err := workload.ProfileBias(s.GenerateN(n).Stream())
+		st, err := workload.ProfileBias(s.Stream(n))
 		if err != nil {
 			panic(err)
 		}
@@ -205,16 +207,10 @@ func Fig8(cfg Config) Table {
 		Title:   "Figure 8: MPKI comparison at 64KB (lower is better)",
 		Columns: []string{"OH-SNAP", "TAGE", "BF-Neural"},
 	}
-	t.Rows = forEachTrace(cfg, func(s workload.Spec) Row {
-		n := cfg.branchesFor(s)
-		cfg.logf("fig8: %s (%d branches)\n", s.Name, n)
-		tr := s.GenerateN(n)
-		warm := uint64(n / 10)
-		return Row{Label: s.Name, Vals: []float64{
-			runOne(tr, warm, func() sim.Predictor { return ohsnap.New(ohsnap.Default64KB()) }),
-			runOne(tr, warm, func() sim.Predictor { return tage.New(tage.ConventionalBare(15)) }),
-			runOne(tr, warm, func() sim.Predictor { return bfneural.New(bfneural.Default64KB()) }),
-		}}
+	t.Rows = matrix(cfg, "fig8", []namedPred{
+		{"OH-SNAP", func() sim.Predictor { return ohsnap.New(ohsnap.Default64KB()) }},
+		{"TAGE", func() sim.Predictor { return tage.New(tage.ConventionalBare(15)) }},
+		{"BF-Neural", func() sim.Predictor { return bfneural.New(bfneural.Default64KB()) }},
 	})
 	t.Mean()
 	return t
@@ -228,17 +224,11 @@ func Fig9(cfg Config) Table {
 		Title:   "Figure 9: contribution of optimizations (MPKI)",
 		Columns: []string{"Perceptron", "BF(fhist)", "BF(ghist+fhist)", "BF(ghist+RS+fhist)"},
 	}
-	t.Rows = forEachTrace(cfg, func(s workload.Spec) Row {
-		n := cfg.branchesFor(s)
-		cfg.logf("fig9: %s (%d branches)\n", s.Name, n)
-		tr := s.GenerateN(n)
-		warm := uint64(n / 10)
-		return Row{Label: s.Name, Vals: []float64{
-			runOne(tr, warm, func() sim.Predictor { return perceptron.New(perceptron.Default64KB()) }),
-			runOne(tr, warm, func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeFilterWeights)) }),
-			runOne(tr, warm, func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeBiasFreeGHR)) }),
-			runOne(tr, warm, func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeFull)) }),
-		}}
+	t.Rows = matrix(cfg, "fig9", []namedPred{
+		{"Perceptron", func() sim.Predictor { return perceptron.New(perceptron.Default64KB()) }},
+		{"BF(fhist)", func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeFilterWeights)) }},
+		{"BF(ghist+fhist)", func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeBiasFreeGHR)) }},
+		{"BF(ghist+RS+fhist)", func() sim.Predictor { return bfneural.New(bfneural.Ablation(bfneural.ModeFull)) }},
 	})
 	t.Mean()
 	return t
@@ -253,15 +243,9 @@ func Fig10(cfg Config) Table {
 	}
 	for n := 4; n <= 10; n++ {
 		nn := n
-		rows := forEachTrace(cfg, func(s workload.Spec) Row {
-			nb := cfg.branchesFor(s)
-			cfg.logf("fig10: %d tables, %s\n", nn, s.Name)
-			tr := s.GenerateN(nb)
-			warm := uint64(nb / 10)
-			return Row{Label: s.Name, Vals: []float64{
-				runOne(tr, warm, func() sim.Predictor { return tage.New(tage.Conventional(nn)) }),
-				runOne(tr, warm, func() sim.Predictor { return bftage.New(bftage.Conventional(nn)) }),
-			}}
+		rows := matrix(cfg, fmt.Sprintf("fig10[%d-tables]", nn), []namedPred{
+			{"ISL-TAGE", func() sim.Predictor { return tage.New(tage.Conventional(nn)) }},
+			{"BF-ISL-TAGE", func() sim.Predictor { return bftage.New(bftage.Conventional(nn)) }},
 		})
 		var sumT, sumB float64
 		for _, r := range rows {
@@ -285,22 +269,21 @@ func Fig11(cfg Config) Table {
 		Title:   "Figure 11: relative improvement in MPKI vs 10-table conventional TAGE (%)",
 		Columns: []string{"TAGE-15", "BF-TAGE-10"},
 	}
-	t.Rows = forEachTrace(cfg, func(s workload.Spec) Row {
-		n := cfg.branchesFor(s)
-		cfg.logf("fig11: %s\n", s.Name)
-		tr := s.GenerateN(n)
-		warm := uint64(n / 10)
-		base := runOne(tr, warm, func() sim.Predictor { return tage.New(tage.Conventional(10)) })
-		t15 := runOne(tr, warm, func() sim.Predictor { return tage.New(tage.Conventional(15)) })
-		bf10 := runOne(tr, warm, func() sim.Predictor { return bftage.New(bftage.Conventional(10)) })
+	raw := matrix(cfg, "fig11", []namedPred{
+		{"base", func() sim.Predictor { return tage.New(tage.Conventional(10)) }},
+		{"TAGE-15", func() sim.Predictor { return tage.New(tage.Conventional(15)) }},
+		{"BF-TAGE-10", func() sim.Predictor { return bftage.New(bftage.Conventional(10)) }},
+	})
+	for _, r := range raw {
+		base := r.Vals[0]
 		imp := func(v float64) float64 {
 			if base == 0 {
 				return 0
 			}
 			return 100 * (base - v) / base
 		}
-		return Row{Label: s.Name, Vals: []float64{imp(t15), imp(bf10)}}
-	})
+		t.Rows = append(t.Rows, Row{Label: r.Label, Vals: []float64{imp(r.Vals[1]), imp(r.Vals[2])}})
+	}
 	return t
 }
 
@@ -318,13 +301,19 @@ func Fig12(cfg Config, traceName string) Table {
 	}
 	n := cfg.branchesFor(s)
 	cfg.logf("fig12: %s\n", traceName)
-	tr := s.GenerateN(n)
 
-	run := func(p sim.Predictor, hits func() []uint64) []float64 {
-		if _, err := sim.Run(p, tr.Stream(), sim.Options{}); err != nil {
-			panic(err)
-		}
-		h := hits()
+	// Two engine cells over the same streaming source; the provider
+	// histograms come from the retained predictor instances.
+	results := runEngine(cfg, "fig12", sim.Matrix(
+		[]sim.TraceSource{s.Source(n)},
+		[]sim.PredictorSpec{
+			{Name: "tage-15", New: func() sim.Predictor { return tage.New(tage.Conventional(15)) }},
+			{Name: "bf-tage-10", New: func() sim.Predictor { return bftage.New(bftage.Conventional(10)) }},
+		},
+		sim.Options{},
+	))
+	shares := func(res sim.RunResult) []float64 {
+		h := res.Instance.(sim.TableHitReporter).TableHits()
 		var total uint64
 		for _, v := range h {
 			total += v
@@ -337,10 +326,8 @@ func Fig12(cfg Config, traceName string) Table {
 		}
 		return out
 	}
-	t15 := tage.New(tage.Conventional(15))
-	bf10 := bftage.New(bftage.Conventional(10))
-	a := run(t15, t15.TableHits)
-	b := run(bf10, bf10.TableHits)
+	a := shares(results[0])
+	b := shares(results[1])
 
 	t := Table{
 		Title:   fmt.Sprintf("Figure 12 (%s): %% of branch hits per tagged table", traceName),
@@ -375,28 +362,44 @@ func Fig13(cfg Config) Table {
 	if len(cfg.TraceFilter) > 0 {
 		names = cfg.TraceFilter
 	}
-	for _, name := range names {
+	rows := make([]Row, len(names))
+	err := sim.ForEach(context.Background(), len(names), cfg.workers(), func(_ context.Context, i int) error {
+		name := names[i]
 		s, ok := workload.ByName(name)
 		if !ok {
-			panic("experiments: unknown trace " + name)
+			return fmt.Errorf("experiments: unknown trace %s", name)
 		}
 		n := cfg.branchesFor(s)
 		cfg.logf("fig13: %s\n", name)
-		tr := s.GenerateN(n)
+		src := s.Source(n)
 		warm := uint64(n / 10)
-		dyn := runOne(tr, warm, func() sim.Predictor { return bftage.New(bftage.Conventional(10)) })
+		dyn := runOne(src, warm, func() sim.Predictor { return bftage.New(bftage.Conventional(10)) })
+		// Profiling pass for the static oracle streams the trace again.
 		oracle := bst.NewOracle()
-		for _, rec := range tr {
+		r := src.Open()
+		for {
+			rec, rerr := r.Read()
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			if rerr != nil {
+				return rerr
+			}
 			oracle.Observe(rec.PC, rec.Taken)
 		}
-		orc := runOne(tr, warm, func() sim.Predictor {
+		orc := runOne(src, warm, func() sim.Predictor {
 			c := bftage.Conventional(10)
 			c.Name = "bf-isl-tage-10-oracle"
 			c.Classifier = oracle
 			return bftage.New(c)
 		})
-		t.Rows = append(t.Rows, Row{Label: name, Vals: []float64{dyn, orc}})
+		rows[i] = Row{Label: name, Vals: []float64{dyn, orc}}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
+	t.Rows = rows
 	return t
 }
 
@@ -412,25 +415,26 @@ func Variance(cfg Config, traceName string, seeds int) Table {
 		seeds = 2
 	}
 	n := cfg.branchesFor(s)
-	preds := []struct {
-		name string
-		mk   func() sim.Predictor
-	}{
-		{"OH-SNAP", func() sim.Predictor { return ohsnap.New(ohsnap.Default64KB()) }},
-		{"TAGE-15", func() sim.Predictor { return tage.New(tage.ConventionalBare(15)) }},
-		{"BF-Neural", func() sim.Predictor { return bfneural.New(bfneural.Default64KB()) }},
-		{"BF-ISL-TAGE-10", func() sim.Predictor { return bftage.New(bftage.Conventional(10)) }},
+	preds := []sim.PredictorSpec{
+		{Name: "OH-SNAP", New: func() sim.Predictor { return ohsnap.New(ohsnap.Default64KB()) }},
+		{Name: "TAGE-15", New: func() sim.Predictor { return tage.New(tage.ConventionalBare(15)) }},
+		{Name: "BF-Neural", New: func() sim.Predictor { return bfneural.New(bfneural.Default64KB()) }},
+		{Name: "BF-ISL-TAGE-10", New: func() sim.Predictor { return bftage.New(bftage.Conventional(10)) }},
 	}
 	t := Table{
 		Title:   fmt.Sprintf("Seed variance on %s (%d variants, %d branches)", traceName, seeds, n),
 		Columns: []string{"mean-MPKI", "stddev"},
 	}
-	for _, p := range preds {
+	// One engine cell per (reseeded variant × predictor).
+	sources := make([]sim.TraceSource, seeds)
+	for v := 0; v < seeds; v++ {
+		sources[v] = s.Reseed(uint64(v)).Source(n)
+	}
+	results := runEngine(cfg, "variance", sim.Matrix(sources, preds, sim.Options{Warmup: uint64(n / 10)}))
+	for pi, p := range preds {
 		vals := make([]float64, seeds)
 		for v := 0; v < seeds; v++ {
-			cfg.logf("variance: %s seed %d\n", p.name, v)
-			tr := s.Reseed(uint64(v)).GenerateN(n)
-			vals[v] = runOne(tr, uint64(n/10), p.mk)
+			vals[v] = results[v*len(preds)+pi].Stats.MPKI()
 		}
 		var sum float64
 		for _, v := range vals {
@@ -442,7 +446,7 @@ func Variance(cfg Config, traceName string, seeds int) Table {
 			ss += (v - mean) * (v - mean)
 		}
 		std := math.Sqrt(ss / float64(seeds-1))
-		t.Rows = append(t.Rows, Row{Label: p.name, Vals: []float64{mean, std}})
+		t.Rows = append(t.Rows, Row{Label: p.Name, Vals: []float64{mean, std}})
 	}
 	return t
 }

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"bfbp/internal/sim"
 )
 
 // tiny returns a configuration small enough for unit testing.
@@ -167,6 +172,51 @@ func TestParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("value differs at %d/%d", i, j)
 			}
 		}
+	}
+}
+
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		cfg := tiny("SPEC00", "FP2", "SERV1")
+		cfg.Workers = workers
+		results, err := Suite(context.Background(), cfg, SuitePredictors())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var csv, js bytes.Buffer
+		if err := sim.WriteCSV(&csv, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.WriteJSON(&js, results); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String() + js.String()
+	}
+	if serial, parallel := run(1), run(8); serial != parallel {
+		t.Fatal("suite emission differs between workers=1 and workers=8")
+	}
+}
+
+func TestSuiteWindowedMetrics(t *testing.T) {
+	cfg := tiny("MM1")
+	results, err := Suite(context.Background(), cfg, SuitePredictors()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	st := results[0].Stats
+	if st.Window == 0 || len(st.Windows) < 15 {
+		t.Fatalf("suite run missing window series: window=%d entries=%d", st.Window, len(st.Windows))
+	}
+}
+
+func TestSuiteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Suite(ctx, tiny("SPEC00"), SuitePredictors()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Result emission shared by cmd/bfsim and cmd/experiments. Wall-clock
+// fields are deliberately excluded so that the bytes emitted for a given
+// matrix are identical regardless of worker count — suite outputs are
+// diffable across runs and machines.
+
+// WriteCSV emits one row per result:
+//
+//	trace,predictor,branches,instructions,mispredicts,mpki,accuracy
+func WriteCSV(w io.Writer, results []RunResult) error {
+	if _, err := fmt.Fprintln(w, "trace,predictor,branches,instructions,mispredicts,mpki,accuracy"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.4f,%.6f\n",
+			r.Trace, r.Predictor, r.Stats.Branches, r.Stats.Instructions,
+			r.Stats.Mispredicts, r.Stats.MPKI(), r.Stats.Accuracy())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonWindow is the windowed-metrics schema: one entry per fixed branch
+// window in run order.
+type jsonWindow struct {
+	Branches     uint64  `json:"branches"`
+	Mispredicts  uint64  `json:"mispredicts"`
+	Instructions uint64  `json:"instructions"`
+	MPKI         float64 `json:"mpki"`
+}
+
+type jsonResult struct {
+	Trace        string       `json:"trace"`
+	Predictor    string       `json:"predictor"`
+	Branches     uint64       `json:"branches"`
+	Instructions uint64       `json:"instructions"`
+	Mispredicts  uint64       `json:"mispredicts"`
+	MPKI         float64      `json:"mpki"`
+	Accuracy     float64      `json:"accuracy"`
+	Window       uint64       `json:"window,omitempty"`
+	Windows      []jsonWindow `json:"windows,omitempty"`
+}
+
+type jsonReport struct {
+	Schema  string       `json:"schema"`
+	Results []jsonResult `json:"results"`
+}
+
+// WriteJSON emits the results, including any windowed MPKI series, as an
+// indented JSON document with schema tag "bfbp.suite.v1".
+func WriteJSON(w io.Writer, results []RunResult) error {
+	rep := jsonReport{Schema: "bfbp.suite.v1", Results: make([]jsonResult, 0, len(results))}
+	for _, r := range results {
+		jr := jsonResult{
+			Trace:        r.Trace,
+			Predictor:    r.Predictor,
+			Branches:     r.Stats.Branches,
+			Instructions: r.Stats.Instructions,
+			Mispredicts:  r.Stats.Mispredicts,
+			MPKI:         r.Stats.MPKI(),
+			Accuracy:     r.Stats.Accuracy(),
+			Window:       r.Stats.Window,
+		}
+		for _, win := range r.Stats.Windows {
+			jr.Windows = append(jr.Windows, jsonWindow{
+				Branches:     win.Branches,
+				Mispredicts:  win.Mispredicts,
+				Instructions: win.Instructions,
+				MPKI:         win.MPKI(),
+			})
+		}
+		rep.Results = append(rep.Results, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,222 @@
+// Suite-evaluation engine: runs an arbitrary (predictor × trace) matrix
+// on a worker pool with streaming trace readers, deterministic result
+// ordering, first-error propagation, context cancellation, and progress
+// callbacks. Credible predictor claims need large trace sweeps (Lin &
+// Tarsa, "Branch Prediction Is Not a Solved Problem"); this engine is
+// the substrate that makes such sweeps cheap to express and safe to
+// parallelise.
+
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bfbp/internal/trace"
+)
+
+// TraceSource names a trace and opens fresh readers over it. Open must
+// return an independent reader on every call so that concurrent runs of
+// the same trace never share state. Implementations include the
+// streaming generator-backed workload.SpecSource (no full-trace
+// materialisation) and the in-memory trace.NamedSlice.
+type TraceSource interface {
+	Name() string
+	Open() trace.Reader
+}
+
+// FuncSource adapts a label and an open function to TraceSource — the
+// compat bridge from the old RunAll(source func() trace.Reader) shape.
+type FuncSource struct {
+	Label  string
+	OpenFn func() trace.Reader
+}
+
+// Name identifies the trace in results.
+func (f FuncSource) Name() string { return f.Label }
+
+// Open invokes the wrapped function.
+func (f FuncSource) Open() trace.Reader { return f.OpenFn() }
+
+// PredictorSpec names a predictor and constructs fresh instances of it.
+// The engine builds one instance per (predictor, trace) cell so that
+// runs never share predictor state across traces or workers.
+type PredictorSpec struct {
+	Name string
+	New  func() Predictor
+}
+
+// Job is one cell of an evaluation matrix. A nil Options inherits the
+// engine's defaults.
+type Job struct {
+	Predictor PredictorSpec
+	Source    TraceSource
+	Options   *Options
+}
+
+// Matrix builds the full cross product of sources × predictors with the
+// given per-cell options, in (source-major, predictor-minor) order —
+// the suite reporting order used throughout the repository.
+func Matrix(sources []TraceSource, preds []PredictorSpec, opt Options) []Job {
+	jobs := make([]Job, 0, len(sources)*len(preds))
+	o := opt
+	for _, s := range sources {
+		for _, p := range preds {
+			jobs = append(jobs, Job{Predictor: p, Source: s, Options: &o})
+		}
+	}
+	return jobs
+}
+
+// RunResult is one completed matrix cell. Instance is the predictor the
+// engine built for the cell, retained so callers can inspect post-run
+// state (storage budgets, provider-table histograms).
+type RunResult struct {
+	Trace     string
+	Predictor string
+	Stats     Stats
+	Elapsed   time.Duration
+	Instance  Predictor
+}
+
+// ProgressEvent reports one completed cell. Events are delivered
+// serially (never concurrently) but in completion order, which varies
+// with the worker count.
+type ProgressEvent struct {
+	// Done counts completed cells including this one; Total is the job
+	// count.
+	Done, Total int
+	Trace       string
+	Predictor   string
+	Stats       Stats
+	Elapsed     time.Duration
+}
+
+// Engine evaluates (predictor × trace) matrices in parallel. The zero
+// value is ready to use: it runs with GOMAXPROCS workers and default
+// Options. An Engine is stateless across Run calls and safe for
+// concurrent use.
+type Engine struct {
+	// Workers bounds cell parallelism (<= 0 means GOMAXPROCS).
+	Workers int
+	// Options applies to jobs whose Options field is nil.
+	Options Options
+	// Progress, when non-nil, receives one event per completed cell.
+	Progress func(ProgressEvent)
+}
+
+// Run evaluates every job and returns results in job order — identical
+// regardless of the worker count, since each cell gets a fresh predictor
+// and a fresh reader. The first error cancels the remaining jobs and is
+// returned after all workers have drained, so Run never leaks
+// goroutines; cancelling ctx mid-suite likewise returns ctx's error.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
+	results := make([]RunResult, len(jobs))
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err := ForEach(ctx, len(jobs), e.Workers, func(ctx context.Context, i int) error {
+		job := jobs[i]
+		opt := e.Options
+		if job.Options != nil {
+			opt = *job.Options
+		}
+		p := job.Predictor.New()
+		start := time.Now()
+		st, err := RunContext(ctx, p, job.Source.Open(), opt)
+		if err != nil {
+			return fmt.Errorf("sim: %s on %s: %w", job.Predictor.Name, job.Source.Name(), err)
+		}
+		results[i] = RunResult{
+			Trace:     job.Source.Name(),
+			Predictor: job.Predictor.Name,
+			Stats:     st,
+			Elapsed:   time.Since(start),
+			Instance:  p,
+		}
+		if e.Progress != nil {
+			mu.Lock()
+			done++
+			e.Progress(ProgressEvent{
+				Done:      done,
+				Total:     len(jobs),
+				Trace:     results[i].Trace,
+				Predictor: results[i].Predictor,
+				Stats:     st,
+				Elapsed:   results[i].Elapsed,
+			})
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach runs fn(ctx, i) for i in [0, n) on up to workers goroutines
+// (<= 0 means GOMAXPROCS) and blocks until every started call has
+// returned. The first error cancels the derived context, stops feeding
+// new indices, and is returned; a cancelled parent context likewise
+// stops the loop and surfaces context.Canceled. Because results are
+// addressed by index, callers get deterministic output ordering for
+// free regardless of the worker count.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Cancellation may have arrived between jobs, with no fn observing it.
+	return ctx.Err()
+}

@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbp/internal/trace"
+	"bfbp/internal/workload"
+)
+
+// toyShare is a small deterministic global-history predictor: enough
+// state to make per-cell isolation bugs visible in the stats.
+type toyShare struct {
+	hist  uint64
+	table [1 << 10]int8
+}
+
+func (t *toyShare) Name() string { return "toy" }
+func (t *toyShare) Predict(pc uint64) bool {
+	return t.table[(pc^t.hist)&(1<<10-1)] >= 0
+}
+func (t *toyShare) Update(pc uint64, taken bool, target uint64) {
+	i := (pc ^ t.hist) & (1<<10 - 1)
+	if taken && t.table[i] < 3 {
+		t.table[i]++
+	}
+	if !taken && t.table[i] > -4 {
+		t.table[i]--
+	}
+	t.hist = t.hist<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func testJobs(t *testing.T, opt Options) []Job {
+	t.Helper()
+	var sources []TraceSource
+	for _, name := range []string{"FP2", "INT1", "MM3", "SERV2"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown trace %s", name)
+		}
+		sources = append(sources, s.Source(30_000))
+	}
+	preds := []PredictorSpec{
+		{Name: "toy", New: func() Predictor { return &toyShare{} }},
+		{Name: "static-taken", New: func() Predictor { return &StaticPredictor{Direction: true} }},
+	}
+	return Matrix(sources, preds, opt)
+}
+
+// stripTimings zeroes the wall-clock and instance fields so result
+// slices compare by value.
+func stripTimings(results []RunResult) []RunResult {
+	out := append([]RunResult(nil), results...)
+	for i := range out {
+		out[i].Elapsed = 0
+		out[i].Instance = nil
+	}
+	return out
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	opt := Options{Warmup: 3_000, Window: 5_000, PerPC: true}
+	run := func(workers int) []RunResult {
+		eng := Engine{Workers: workers}
+		res, err := eng.Run(context.Background(), testJobs(t, opt))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return stripTimings(res)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != 8 {
+		t.Fatalf("results = %d, want 8", len(serial))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Trace != b.Trace || a.Predictor != b.Predictor {
+			t.Fatalf("row %d ordering differs: %s/%s vs %s/%s", i, a.Trace, a.Predictor, b.Trace, b.Predictor)
+		}
+		if a.Stats.Branches != b.Stats.Branches || a.Stats.Mispredicts != b.Stats.Mispredicts ||
+			a.Stats.Instructions != b.Stats.Instructions {
+			t.Fatalf("row %d stats differ: %+v vs %+v", i, a.Stats, b.Stats)
+		}
+		if !reflect.DeepEqual(a.Stats.Windows, b.Stats.Windows) {
+			t.Fatalf("row %d window series differ", i)
+		}
+		if !reflect.DeepEqual(a.Stats.TopOffenders(5), b.Stats.TopOffenders(5)) {
+			t.Fatalf("row %d offenders differ", i)
+		}
+	}
+}
+
+// endless never reaches EOF, so only cancellation can stop a run over it.
+type endless struct{ pc uint64 }
+
+func (e *endless) Read() (trace.Record, error) {
+	e.pc++
+	return trace.Record{PC: 0x1000 + e.pc%64*4, Taken: e.pc%3 == 0, Instret: 4}, nil
+}
+
+func TestEngineCancellationMidSuite(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var sources []TraceSource
+	for i := 0; i < 6; i++ {
+		sources = append(sources, FuncSource{
+			Label:  fmt.Sprintf("endless-%d", i),
+			OpenFn: func() trace.Reader { return &endless{} },
+		})
+	}
+	jobs := Matrix(sources, []PredictorSpec{
+		{Name: "static", New: func() Predictor { return &StaticPredictor{} }},
+	}, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	eng := Engine{Workers: 4}
+	_, err := eng.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Run must not leak worker goroutines: the count settles back to the
+	// pre-run level once the pool has drained.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestEngineCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := Engine{}
+	_, err := eng.Run(ctx, testJobs(t, Options{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+type failReader struct{ after int }
+
+func (f *failReader) Read() (trace.Record, error) {
+	if f.after <= 0 {
+		return trace.Record{}, fmt.Errorf("disk on fire")
+	}
+	f.after--
+	return trace.Record{PC: 0x40, Taken: true, Instret: 4}, nil
+}
+
+func TestEngineFirstErrorPropagation(t *testing.T) {
+	jobs := Matrix(
+		[]TraceSource{
+			FuncSource{Label: "ok", OpenFn: func() trace.Reader { return trace.Limit(&endless{}, 1000) }},
+			FuncSource{Label: "bad", OpenFn: func() trace.Reader { return &failReader{after: 100} }},
+		},
+		[]PredictorSpec{{Name: "static", New: func() Predictor { return &StaticPredictor{} }}},
+		Options{},
+	)
+	eng := Engine{Workers: 2}
+	_, err := eng.Run(context.Background(), jobs)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want wrapped reader failure naming the bad source", err)
+	}
+}
+
+func TestStreamingSourceMatchesMaterialised(t *testing.T) {
+	s, ok := workload.ByName("SPEC05")
+	if !ok {
+		t.Fatal("SPEC05 missing")
+	}
+	const n = 25_000
+	materialised := s.GenerateN(n).Source("SPEC05")
+	streaming := s.Source(n)
+
+	opt := Options{Warmup: 2_500, Window: 4_000, PerPC: true}
+	runWith := func(src TraceSource) Stats {
+		st, err := Run(&toyShare{}, src.Open(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := runWith(materialised)
+	b := runWith(streaming)
+	if a.Branches != b.Branches || a.Mispredicts != b.Mispredicts || a.Instructions != b.Instructions {
+		t.Fatalf("streaming stats diverge: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Windows, b.Windows) {
+		t.Fatal("streaming window series diverge")
+	}
+	if !reflect.DeepEqual(a.TopOffenders(20), b.TopOffenders(20)) {
+		t.Fatal("streaming per-PC attribution diverges")
+	}
+}
+
+func TestEngineProgressEvents(t *testing.T) {
+	var events []ProgressEvent
+	eng := Engine{
+		Workers:  4,
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
+	}
+	jobs := testJobs(t, Options{})
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("events = %d, want %d", len(events), len(jobs))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(jobs) {
+			t.Fatalf("event %d: Done/Total = %d/%d", i, ev.Done, ev.Total)
+		}
+	}
+}
+
+func TestRunContextWindowedMetrics(t *testing.T) {
+	recs := make(trace.Slice, 100)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x10, Taken: i%2 == 0, Instret: 2}
+	}
+	st, err := Run(&StaticPredictor{Direction: true}, recs.Stream(), Options{Warmup: 10, Window: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 post-warmup branches in windows of 30: three full windows.
+	if len(st.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(st.Windows))
+	}
+	var wb, wm, wi uint64
+	for _, w := range st.Windows {
+		wb += w.Branches
+		wm += w.Mispredicts
+		wi += w.Instructions
+	}
+	if wb != st.Branches-10 || wm != st.Mispredicts || wi != st.Instructions {
+		t.Fatalf("window sums (%d,%d,%d) disagree with totals (%d,%d,%d)",
+			wb, wm, wi, st.Branches-10, st.Mispredicts, st.Instructions)
+	}
+	// Partial final window: 95 branches -> 3 windows of 30 plus one of 5.
+	st2, err := Run(&StaticPredictor{Direction: true}, recs[:95].Stream(), Options{Window: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Windows) != 4 || st2.Windows[3].Branches != 5 {
+		t.Fatalf("partial window: got %d windows, last %+v", len(st2.Windows), st2.Windows[len(st2.Windows)-1])
+	}
+}
+
+func TestStatsMergeShardedRun(t *testing.T) {
+	s, ok := workload.ByName("INT3")
+	if !ok {
+		t.Fatal("INT3 missing")
+	}
+	// GenerateN may overshoot by a kernel burst; truncate so the shard
+	// boundary lands exactly on a window edge.
+	tr := s.GenerateN(20_000)[:20_000]
+	half := len(tr) / 2
+	opt := Options{PerPC: true, Window: 2_000}
+
+	// One predictor over the whole trace...
+	whole, err := Run(&toyShare{}, tr.Stream(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...vs the same predictor instance over two shards, merged. The
+	// shard boundary is window-aligned so the series concatenate exactly.
+	p := &toyShare{}
+	first, err := Run(p, tr[:half].Stream(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(p, tr[half:].Stream(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := first
+	merged.Merge(second)
+
+	if half%2000 != 0 {
+		t.Fatalf("test bug: shard boundary %d not window-aligned", half)
+	}
+	if merged.Branches != whole.Branches || merged.Mispredicts != whole.Mispredicts ||
+		merged.Instructions != whole.Instructions {
+		t.Fatalf("merged totals %+v != whole %+v", merged, whole)
+	}
+	if !reflect.DeepEqual(merged.Windows, whole.Windows) {
+		t.Fatalf("merged windows diverge: %d vs %d entries", len(merged.Windows), len(whole.Windows))
+	}
+	if !reflect.DeepEqual(merged.TopOffenders(50), whole.TopOffenders(50)) {
+		t.Fatal("merged TopOffenders diverge from whole-run attribution")
+	}
+}
+
+func TestStatsMergeIntoEmpty(t *testing.T) {
+	tr := mkTrace([]bool{true, false, true, false})
+	st, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{PerPC: true, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg Stats
+	agg.Merge(st)
+	if agg.Mispredicts != st.Mispredicts || agg.Window != 2 || len(agg.Windows) != len(st.Windows) {
+		t.Fatalf("merge into zero Stats lost data: %+v", agg)
+	}
+	if agg.TopOffenders(1) == nil {
+		t.Fatal("merge into zero Stats lost per-PC map")
+	}
+}
+
+func TestForEachOrderingAndBounds(t *testing.T) {
+	out := make([]int, 100)
+	err := ForEach(context.Background(), len(out), 7, func(_ context.Context, i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	if err := ForEach(context.Background(), 0, 4, func(_ context.Context, i int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Verify readers see io.EOF exactly once per open (fresh reader per
+// Open call), guarding the engine's no-shared-reader invariant.
+func TestFuncSourceFreshReaders(t *testing.T) {
+	tr := mkTrace([]bool{true, true})
+	src := FuncSource{Label: "x", OpenFn: func() trace.Reader { return tr.Stream() }}
+	for i := 0; i < 2; i++ {
+		r := src.Open()
+		count := 0
+		for {
+			_, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+		if count != 2 {
+			t.Fatalf("open %d: read %d records, want 2", i, count)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -86,7 +87,30 @@ type Stats struct {
 	Branches     uint64
 	Mispredicts  uint64
 	Instructions uint64
-	perPC        map[uint64]*pcStat
+	// Window is the post-warmup branch interval of the Windows series
+	// (0 when no windowed metrics were collected).
+	Window uint64
+	// Windows is the phase-resolved misprediction series: one entry per
+	// Window post-warmup branches, in run order, plus a final partial
+	// window. Lin & Tarsa argue predictor claims need exactly this
+	// time-resolved view rather than a single end-of-run number.
+	Windows []WindowStat
+	perPC   map[uint64]*pcStat
+}
+
+// WindowStat is one fixed-branch-window slice of a run.
+type WindowStat struct {
+	Branches     uint64
+	Mispredicts  uint64
+	Instructions uint64
+}
+
+// MPKI returns the window's mispredictions per 1000 instructions.
+func (w WindowStat) MPKI() float64 {
+	if w.Instructions == 0 {
+		return 0
+	}
+	return float64(w.Mispredicts) * 1000 / float64(w.Instructions)
 }
 
 type pcStat struct {
@@ -143,6 +167,36 @@ func (s Stats) TopOffenders(n int) []Offender {
 	return all
 }
 
+// Merge folds other into s as a subsequent shard of the same logical
+// run: counters add, per-PC attributions add site-wise, and windowed
+// series concatenate in run order (s's trailing partial window, if any,
+// stays a short window rather than being re-bucketed). The engine uses
+// this to aggregate warmup-split or trace-sharded runs without losing
+// TopOffenders or phase data. Window adopts the first non-zero size.
+func (s *Stats) Merge(other Stats) {
+	s.Branches += other.Branches
+	s.Mispredicts += other.Mispredicts
+	s.Instructions += other.Instructions
+	if other.perPC != nil {
+		if s.perPC == nil {
+			s.perPC = make(map[uint64]*pcStat, len(other.perPC))
+		}
+		for pc, o := range other.perPC {
+			st := s.perPC[pc]
+			if st == nil {
+				st = &pcStat{pc: pc}
+				s.perPC[pc] = st
+			}
+			st.count += o.count
+			st.mispreds += o.mispreds
+		}
+	}
+	if s.Window == 0 {
+		s.Window = other.Window
+	}
+	s.Windows = append(s.Windows, other.Windows...)
+}
+
 // Options configures a run.
 type Options struct {
 	// Warmup is the number of initial branches excluded from the
@@ -154,6 +208,10 @@ type Options struct {
 	UpdateDelay int
 	// PerPC enables per-branch misprediction attribution.
 	PerPC bool
+	// Window, when non-zero, records an MPKI time series with one
+	// WindowStat per Window post-warmup branches (plus a final partial
+	// window) into Stats.Windows.
+	Window uint64
 }
 
 type pending struct {
@@ -164,12 +222,30 @@ type pending struct {
 
 // Run drives p over the trace and returns accuracy statistics.
 func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
-	stats := Stats{}
+	return RunContext(context.Background(), p, r, opt)
+}
+
+// cancelCheckMask throttles context polling: cancellation is observed
+// every 4096 branches, so a cancelled run stops within microseconds
+// without a per-branch select on the hot path.
+const cancelCheckMask = 1<<12 - 1
+
+// RunContext drives p over the trace like Run, but aborts with the
+// context's error as soon as ctx is cancelled (checked every few
+// thousand branches). The stats accumulated so far accompany the error.
+func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (Stats, error) {
+	stats := Stats{Window: opt.Window}
 	if opt.PerPC {
 		stats.perPC = make(map[uint64]*pcStat)
 	}
 	var queue []pending
+	var win WindowStat
 	for {
+		if stats.Branches&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+		}
 		rec, err := r.Read()
 		if errors.Is(err, io.EOF) {
 			break
@@ -182,8 +258,20 @@ func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
 		stats.Branches++
 		if !inWarmup {
 			stats.Instructions += uint64(rec.Instret)
-			if pred != rec.Taken {
+			miss := pred != rec.Taken
+			if miss {
 				stats.Mispredicts++
+			}
+			if opt.Window > 0 {
+				win.Branches++
+				win.Instructions += uint64(rec.Instret)
+				if miss {
+					win.Mispredicts++
+				}
+				if win.Branches == opt.Window {
+					stats.Windows = append(stats.Windows, win)
+					win = WindowStat{}
+				}
 			}
 			if stats.perPC != nil {
 				st := stats.perPC[rec.PC]
@@ -192,7 +280,7 @@ func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
 					stats.perPC[rec.PC] = st
 				}
 				st.count++
-				if pred != rec.Taken {
+				if miss {
 					st.mispreds++
 				}
 			}
@@ -211,6 +299,9 @@ func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
 	for _, u := range queue {
 		p.Update(u.pc, u.taken, u.target)
 	}
+	if win.Branches > 0 {
+		stats.Windows = append(stats.Windows, win)
+	}
 	// Warmup branches contribute no instructions; Branches keeps the full
 	// count so callers can verify trace coverage.
 	return stats, nil
@@ -222,14 +313,14 @@ type Result struct {
 	Stats     Stats
 }
 
-// RunAll evaluates several predictors over identical copies of a trace.
-// The source function must return a fresh Reader for each call.
-func RunAll(preds []Predictor, source func() trace.Reader, opt Options) ([]Result, error) {
+// RunAll evaluates several predictors over identical copies of a trace
+// source, opening a fresh reader per predictor.
+func RunAll(preds []Predictor, src TraceSource, opt Options) ([]Result, error) {
 	out := make([]Result, 0, len(preds))
 	for _, p := range preds {
-		st, err := Run(p, source(), opt)
+		st, err := Run(p, src.Open(), opt)
 		if err != nil {
-			return nil, fmt.Errorf("sim: running %s: %w", p.Name(), err)
+			return nil, fmt.Errorf("sim: running %s on %s: %w", p.Name(), src.Name(), err)
 		}
 		out = append(out, Result{Predictor: p.Name(), Stats: st})
 	}

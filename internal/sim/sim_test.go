@@ -161,7 +161,7 @@ func TestRunAll(t *testing.T) {
 	tr := mkTrace([]bool{true, true, false, true})
 	res, err := RunAll(
 		[]Predictor{&StaticPredictor{Direction: true}, &StaticPredictor{Direction: false}},
-		func() trace.Reader { return tr.Stream() },
+		tr.Source("t"),
 		Options{},
 	)
 	if err != nil {

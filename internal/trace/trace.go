@@ -59,6 +59,24 @@ func (r *sliceReader) Read() (Record, error) {
 	return rec, nil
 }
 
+// Source binds a label to the slice so it can serve as an in-memory
+// suite trace source (it satisfies sim.TraceSource).
+func (s Slice) Source(name string) NamedSlice { return NamedSlice{Label: name, Records: s} }
+
+// NamedSlice is an in-memory trace with a name, the materialised
+// counterpart of a streaming trace source. Open replays the same records
+// on every call.
+type NamedSlice struct {
+	Label   string
+	Records Slice
+}
+
+// Name identifies the trace in engine results.
+func (n NamedSlice) Name() string { return n.Label }
+
+// Open returns a fresh reader over the records.
+func (n NamedSlice) Open() Reader { return n.Records.Stream() }
+
 // Instructions returns the total retired-instruction count of the trace.
 func (s Slice) Instructions() uint64 {
 	var n uint64

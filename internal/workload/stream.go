@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"io"
+
+	"bfbp/internal/trace"
+)
+
+// Stream returns a reader that synthesises the trace on demand, one
+// kernel burst at a time, holding only the current burst in memory. It
+// yields exactly the records GenerateN(n) would materialise — both paths
+// share the generator and consume randomness in the same order — so a
+// streaming run and a materialised run are bit-equivalent.
+func (s Spec) Stream(n int) trace.Reader {
+	// Bursts are bounded by the deepest kernel round (a few thousand
+	// records); start small and let append grow the buffer as needed.
+	return &specReader{g: s.generator(n, 256)}
+}
+
+type specReader struct {
+	g   *generator
+	pos int
+}
+
+func (r *specReader) Read() (trace.Record, error) {
+	e := r.g.e
+	for r.pos >= len(e.out) {
+		if e.full() {
+			return trace.Record{}, io.EOF
+		}
+		// Recycle the burst buffer and synthesise the next burst.
+		e.drained += len(e.out)
+		e.out = e.out[:0]
+		r.pos = 0
+		r.g.stepOnce()
+	}
+	rec := e.out[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Source binds the spec to a branch count as a streaming suite trace
+// source: it satisfies sim.TraceSource, opening a fresh generator-backed
+// reader on every Open call without materialising the trace.
+func (s Spec) Source(n int) SpecSource { return SpecSource{Spec: s, Branches: n} }
+
+// SpecSource is the streaming sim.TraceSource implementation backed by a
+// synthetic trace spec. Branches <= 0 falls back to the spec's default
+// length.
+type SpecSource struct {
+	Spec     Spec
+	Branches int
+}
+
+// Name identifies the trace in engine results.
+func (s SpecSource) Name() string { return s.Spec.Name }
+
+// Open returns a fresh streaming reader over the trace.
+func (s SpecSource) Open() trace.Reader {
+	n := s.Branches
+	if n <= 0 {
+		n = s.Spec.Branches
+	}
+	return s.Spec.Stream(n)
+}

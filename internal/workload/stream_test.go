@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// Stream must yield exactly the records GenerateN materialises — the
+// engine's streaming runs are only trustworthy if the two paths are
+// bit-equivalent.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, name := range []string{"SPEC00", "SPEC07", "FP1", "INT4", "MM5", "SERV3"} {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("trace %s missing", name)
+		}
+		const n = 12_000
+		want := s.GenerateN(n)
+		r := s.Stream(n)
+		for i, rec := range want {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("%s: read %d: %v", name, i, err)
+			}
+			if got != rec {
+				t.Fatalf("%s: record %d diverges: stream %+v, generate %+v", name, i, got, rec)
+			}
+		}
+		if _, err := r.Read(); !errors.Is(err, io.EOF) {
+			t.Fatalf("%s: stream longer than generated trace", name)
+		}
+	}
+}
+
+// A second Open on the same SpecSource must restart from scratch.
+func TestSpecSourceFreshReaders(t *testing.T) {
+	s, ok := ByName("FP3")
+	if !ok {
+		t.Fatal("FP3 missing")
+	}
+	src := s.Source(500)
+	if src.Name() != "FP3" {
+		t.Fatalf("Name = %q", src.Name())
+	}
+	first, err1 := src.Open().Read()
+	second, err2 := src.Open().Read()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if first != second {
+		t.Fatalf("fresh readers diverge: %+v vs %+v", first, second)
+	}
+}
+
+// Branches <= 0 falls back to the spec's default length; check the
+// reader terminates at (approximately) that length.
+func TestSpecSourceDefaultLength(t *testing.T) {
+	s := Spec{Name: "tiny", Family: FP, Seed: 7, Branches: 300}
+	s.profile.noise(1.0, 4, 0.5, 4)
+	r := SpecSource{Spec: s}.Open()
+	count := 0
+	for {
+		_, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count < 300 || count > 300+64 {
+		t.Fatalf("default-length stream yielded %d records, want ~300", count)
+	}
+}

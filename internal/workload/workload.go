@@ -44,11 +44,14 @@ const (
 	SERV Family = "SERV" // server
 )
 
-// emitter accumulates the trace while kernels run.
+// emitter accumulates the trace while kernels run. A streaming reader
+// recycles out between kernel bursts and counts recycled records in
+// drained; GenerateN leaves drained at zero and keeps the whole slice.
 type emitter struct {
-	r      *rng.SplitMix64
-	out    trace.Slice
-	target int
+	r       *rng.SplitMix64
+	out     trace.Slice
+	drained int
+	target  int
 }
 
 func (e *emitter) emit(pc uint64, taken bool, target uint64) {
@@ -60,7 +63,7 @@ func (e *emitter) emit(pc uint64, taken bool, target uint64) {
 	})
 }
 
-func (e *emitter) full() bool { return len(e.out) >= e.target }
+func (e *emitter) full() bool { return e.drained+len(e.out) >= e.target }
 
 // kernel is one behaviour generator. step emits a short burst of branches.
 type kernel interface {
@@ -105,33 +108,55 @@ func (s Spec) Generate() trace.Slice { return s.GenerateN(s.Branches) }
 // (kernels finish their current burst, so the result may exceed n by a
 // burst length).
 func (s Spec) GenerateN(n int) trace.Slice {
+	g := s.generator(n, n+n/8)
+	for !g.e.full() {
+		g.stepOnce()
+	}
+	return g.e.out
+}
+
+// generator holds the kernel ensemble and scheduler state shared by the
+// materialising (GenerateN) and streaming (Stream) paths. Both consume
+// randomness in the same order, so they emit identical records.
+type generator struct {
+	e       *emitter
+	kernels []kernel
+	cum     []float64
+	total   float64
+	sched   *rng.SplitMix64
+}
+
+func (s Spec) generator(n, bufCap int) *generator {
 	r := rng.New(s.Seed)
 	reg := &region{}
 	kernels, weights := s.profile.build(r, reg)
-	e := &emitter{r: r.Fork(0xE317), target: n, out: make(trace.Slice, 0, n+n/8)}
-
+	g := &generator{
+		e:       &emitter{r: r.Fork(0xE317), target: n, out: make(trace.Slice, 0, bufCap)},
+		kernels: kernels,
+		sched:   r.Fork(0x5C4ED),
+	}
 	// Weighted round-robin over kernels until the target is reached.
-	total := 0.0
-	cum := make([]float64, len(weights))
+	g.cum = make([]float64, len(weights))
 	for i, w := range weights {
-		total += w
-		cum[i] = total
+		g.total += w
+		g.cum[i] = g.total
 	}
-	sched := r.Fork(0x5C4ED)
-	for !e.full() {
-		x := sched.Float64() * total
-		idx := sort.SearchFloat64s(cum, x)
-		if idx >= len(kernels) {
-			idx = len(kernels) - 1
-		}
-		kernels[idx].step(e)
+	return g
+}
+
+// stepOnce picks one kernel by weight and runs one burst.
+func (g *generator) stepOnce() {
+	x := g.sched.Float64() * g.total
+	idx := sort.SearchFloat64s(g.cum, x)
+	if idx >= len(g.kernels) {
+		idx = len(g.kernels) - 1
 	}
-	return e.out
+	g.kernels[idx].step(g.e)
 }
 
 // Reader returns a streaming reader over a freshly generated trace of n
-// branches.
-func (s Spec) Reader(n int) trace.Reader { return s.GenerateN(n).Stream() }
+// branches. It is equivalent to s.Stream(n).
+func (s Spec) Reader(n int) trace.Reader { return s.Stream(n) }
 
 // Reseed returns a copy of the spec whose random streams are re-derived
 // from the given variant number, keeping the same behavioural structure
