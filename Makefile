@@ -14,11 +14,15 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the concurrency-sensitive packages (suite engine
-# worker pool + the experiment runner built on it).
+# worker pool, the experiment runner built on it, and the telemetry
+# stack that observes both).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/obs/... ./internal/telemetry/...
 
 check: build vet race
 
+# Benchmarks for the root package plus the harness/engine telemetry
+# overhead benchmarks; output is saved to bench.txt for comparison
+# across changes (e.g. with benchstat).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . ./internal/sim | tee bench.txt

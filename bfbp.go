@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
 
 	"bfbp/internal/bst"
 	"bfbp/internal/core/bfgehl"
 	"bfbp/internal/core/bfneural"
 	"bfbp/internal/core/bftage"
+	"bfbp/internal/obs"
 	"bfbp/internal/predictor/bimodal"
 	"bfbp/internal/predictor/filter"
 	"bfbp/internal/predictor/gehl"
@@ -87,6 +89,46 @@ type (
 	// ProgressEvent reports one completed engine cell.
 	ProgressEvent = sim.ProgressEvent
 )
+
+// Observability types, re-exported from internal/obs and the harness.
+// See DESIGN.md §Observability for the metric names and the
+// bfbp.journal.v1 event schema.
+type (
+	// MetricsRegistry holds named metrics with Prometheus-text and
+	// expvar-style JSON export (WritePrometheus / WriteJSON).
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is an atomic monotonic counter.
+	MetricsCounter = obs.Counter
+	// MetricsGauge is an atomic instantaneous value.
+	MetricsGauge = obs.Gauge
+	// MetricsHistogram is a fixed-bucket lock-free histogram.
+	MetricsHistogram = obs.Histogram
+	// Journal writes bfbp.journal.v1 JSONL run events.
+	Journal = obs.Journal
+	// EngineMetrics is the engine metric set; assign to Engine.Metrics.
+	EngineMetrics = sim.EngineMetrics
+	// EngineSnapshot is a point-in-time read of the engine metrics.
+	EngineSnapshot = sim.EngineSnapshot
+	// HarnessProbe samples predict/update latencies in the harness hot
+	// loop; assign to Options.Probe.
+	HarnessProbe = sim.HarnessProbe
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEngineMetrics registers the bfbp_engine_* / bfbp_harness_* metric
+// set on reg; assign the result to Engine.Metrics.
+func NewEngineMetrics(reg *MetricsRegistry) *EngineMetrics { return sim.NewEngineMetrics(reg) }
+
+// NewJournal returns a run journal writing bfbp.journal.v1 JSONL
+// events to w; assign it to Engine.Journal and Close it when done.
+func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// MetricsMux returns an http.ServeMux serving /metrics (Prometheus
+// text), /debug/vars (expvar-style JSON), and /debug/pprof/* for the
+// registry — the handler behind the commands' -metrics-addr flag.
+func MetricsMux(reg *MetricsRegistry) *http.ServeMux { return obs.NewMux(reg) }
 
 // Trace types.
 type (

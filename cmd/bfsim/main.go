@@ -18,6 +18,12 @@
 //	bfsim -p bf-neural -storage                  # storage budget only
 //	bfsim -list                                  # available predictors
 //
+// Long suite runs can be observed live:
+//
+//	bfsim -p all-suite... -metrics-addr :8080    # /metrics, /debug/vars, /debug/pprof
+//	bfsim ... -journal run.jsonl                 # bfbp.journal.v1 event log
+//	bfsim ... -heartbeat 10s                     # periodic stderr progress line
+//
 // Predictor names come from the bfbp registry (use -list for the full
 // set with descriptions); -t accepts trace names, comma lists, or "all"
 // for the 40-trace suite.
@@ -32,6 +38,7 @@ import (
 	"strings"
 
 	"bfbp"
+	"bfbp/internal/telemetry"
 	"bfbp/internal/trace"
 )
 
@@ -51,6 +58,10 @@ func main() {
 		tableHits = flag.Bool("tablehits", false, "print the provider-table histogram")
 		storage   = flag.Bool("storage", false, "print the storage budget and exit")
 		list      = flag.Bool("list", false, "list available predictor names")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
+		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 	)
 	flag.Parse()
 
@@ -91,6 +102,16 @@ func main() {
 	if *warmup >= 0 {
 		warm = uint64(*warmup)
 	}
+	tel, err := telemetry.Start(telemetry.Config{
+		MetricsAddr: *metricsAddr,
+		JournalPath: *journalPath,
+		Heartbeat:   *heartbeat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.Close()
+
 	eng := bfbp.Engine{
 		Workers: *workers,
 		Options: bfbp.Options{
@@ -100,10 +121,14 @@ func main() {
 			Window:      *window,
 		},
 	}
+	tel.Attach(&eng)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	results, err := eng.Run(ctx, bfbp.Matrix(sources, specs, eng.Options))
 	if err != nil {
+		fatal(err)
+	}
+	if err := tel.Close(); err != nil {
 		fatal(err)
 	}
 

@@ -15,10 +15,14 @@
 //	experiments -suite                               # full matrix, CSV rows
 //	experiments -suite -json                         # + windowed MPKI series
 //	experiments -suite -preds oh-snap,bf-neural      # registry predictor set
+//	experiments -suite -metrics-addr :8080           # live /metrics + pprof
+//	experiments -suite -journal run.jsonl -heartbeat 10s
 //
 // The -long/-short flags set the per-trace dynamic branch counts (the
 // paper used 15-30M and 3-5M; defaults here are laptop-scale). Suite
 // rows are deterministic: byte-identical output for any -workers value.
+// Telemetry (-metrics-addr, -journal, -heartbeat) observes any run —
+// figures or suite — without perturbing its output.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"bfbp"
 	"bfbp/internal/experiments"
 	"bfbp/internal/sim"
+	"bfbp/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +55,10 @@ func main() {
 		quiet         = flag.Bool("q", false, "suppress progress logging")
 		varianceTrace = flag.String("variance", "", "run a seed-variance study on the named trace")
 		seeds         = flag.Int("seeds", 5, "seed variants for -variance")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
+		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 	)
 	flag.Parse()
 
@@ -64,6 +73,18 @@ func main() {
 	if *traces != "" {
 		cfg.TraceFilter = strings.Split(*traces, ",")
 	}
+
+	tel, err := telemetry.Start(telemetry.Config{
+		MetricsAddr: *metricsAddr,
+		JournalPath: *journalPath,
+		Heartbeat:   *heartbeat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.Close()
+	cfg.Metrics = tel.EngineMetrics()
+	cfg.Journal = tel.RunJournal()
 
 	if *suite {
 		runSuite(cfg, *predNames, *jsonOut)

@@ -18,6 +18,7 @@ import (
 	"bfbp/internal/bst"
 	"bfbp/internal/core/bfneural"
 	"bfbp/internal/core/bftage"
+	"bfbp/internal/obs"
 	"bfbp/internal/predictor/ohsnap"
 	"bfbp/internal/predictor/perceptron"
 	"bfbp/internal/predictor/tage"
@@ -39,6 +40,12 @@ type Config struct {
 	Workers int
 	// Log receives progress lines (nil silences them).
 	Log io.Writer
+	// Metrics, when non-nil, receives live engine telemetry from every
+	// figure and suite run (see sim.EngineMetrics).
+	Metrics *sim.EngineMetrics
+	// Journal, when non-nil, receives bfbp.journal.v1 events from every
+	// engine run.
+	Journal *obs.Journal
 }
 
 // DefaultConfig is the laptop-scale configuration used by the benchmarks.

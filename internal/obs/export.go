@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Export formats. Both renderers iterate families in name order and
+// series in label order, so exports are deterministic snapshots
+// (modulo the metric values themselves).
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, +Inf spelled "+Inf".
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// labelPairs renders {k="v",...} for a series, with extra appended as a
+// pre-rendered pair (used for histogram le bounds). Empty when the
+// series has no labels and extra is empty.
+func labelPairs(names, values []string, extra string) string {
+	var parts []string
+	for i, n := range names {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, n, escapeLabel(values[i])))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers, cumulative
+// histogram buckets with an explicit +Inf bound, _sum and _count
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labelNames, s.labels, ""), s.counter.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labelNames, s.labels, ""), s.gauge.Value())
+			case histogramKind:
+				err = writePrometheusHistogram(w, f, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePrometheusHistogram(w io.Writer, f *family, s *series) error {
+	bounds, counts := s.hist.Snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		bound := "+Inf"
+		if i < len(bounds) {
+			bound = formatFloat(bounds[i])
+		}
+		le := fmt.Sprintf(`le="%s"`, bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labelNames, s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	lp := labelPairs(f.labelNames, s.labels, "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lp, formatFloat(s.hist.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lp, s.hist.Count())
+	return err
+}
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// jsonValue renders one series to its JSON value.
+func jsonValue(f *family, s *series) any {
+	switch f.kind {
+	case counterKind:
+		return s.counter.Value()
+	case gaugeKind:
+		return s.gauge.Value()
+	default:
+		bounds, counts := s.hist.Snapshot()
+		buckets := make(map[string]uint64, len(counts))
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			bound := "+Inf"
+			if i < len(bounds) {
+				bound = formatFloat(bounds[i])
+			}
+			buckets[bound] = cum
+		}
+		return jsonHistogram{Count: s.hist.Count(), Sum: s.hist.Sum(), Buckets: buckets}
+	}
+}
+
+// WriteJSON renders every registered metric as one expvar-style JSON
+// object: unlabeled metrics map name -> value, labeled families map
+// name -> {"v1,v2": value} keyed by comma-joined label values,
+// histograms render as {count, sum, buckets}. Keys are emitted in
+// sorted order (encoding/json sorts map keys), so the document is a
+// deterministic snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any)
+	for _, f := range r.sortedFamilies() {
+		if len(f.labelNames) == 0 {
+			ss := f.sortedSeries()
+			if len(ss) > 0 {
+				doc[f.name] = jsonValue(f, ss[0])
+			}
+			continue
+		}
+		sub := make(map[string]any)
+		for _, s := range f.sortedSeries() {
+			sub[strings.Join(s.labels, ",")] = jsonValue(f, s)
+		}
+		doc[f.name] = sub
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JournalSchema tags every journal line. Consumers should dispatch on
+// (schema, event) so the format can evolve without breaking readers.
+const JournalSchema = "bfbp.journal.v1"
+
+// Journal writes structured run events as JSON Lines: one object per
+// line, each carrying "schema" (always JournalSchema), "event" (the
+// event name), "wall" (RFC3339Nano emission time — the only
+// unconditionally nondeterministic field), and the flattened payload
+// fields. Keys are emitted in sorted order, so journal content is
+// deterministic modulo wall-clock fields for a deterministic workload.
+//
+// Emit is safe for concurrent use; a nil *Journal discards events, so
+// instrumented code never needs an enabled check.
+type Journal struct {
+	// Clock stamps the "wall" field; it exists so tests can pin
+	// timestamps. Set it before the journal is shared between
+	// goroutines. Nil defaults to time.Now.
+	Clock func() time.Time
+
+	mu  sync.Mutex
+	buf *bufio.Writer
+	err error
+}
+
+// NewJournal returns a journal writing to w. Each event is flushed to
+// w as it is emitted, so the journal survives crashes and cancelled
+// runs and can be followed live with tail -f; the buffer only
+// coalesces the writes of a single line.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{buf: bufio.NewWriter(w)}
+}
+
+// Emit writes one event line. The payload (typically a struct with
+// json tags, or nil) is flattened into the top-level object alongside
+// the schema/event/wall fields. Marshal or write failures are sticky:
+// the first one is retained and reported by Err/Flush/Close, and
+// subsequent events are dropped.
+func (j *Journal) Emit(event string, payload any) {
+	if j == nil {
+		return
+	}
+	fields := make(map[string]json.RawMessage)
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		if err := json.Unmarshal(b, &fields); err != nil {
+			j.fail(err)
+			return
+		}
+	}
+	fields["schema"] = mustRaw(JournalSchema)
+	fields["event"] = mustRaw(event)
+	clock := j.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	fields["wall"] = mustRaw(clock().UTC().Format(time.RFC3339Nano))
+	line, err := json.Marshal(fields)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if _, err := j.buf.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.buf.WriteByte('\n'); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.buf.Flush(); err != nil {
+		j.err = err
+	}
+}
+
+func mustRaw(s string) json.RawMessage {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // marshaling a string cannot fail
+	}
+	return b
+}
+
+func (j *Journal) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+// Err returns the first emission error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush pushes buffered events to the underlying writer and returns
+// the first error seen so far.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.buf.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes the journal. It does not close the underlying writer,
+// which the journal does not own.
+func (j *Journal) Close() error { return j.Flush() }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+
+func TestJournalLineShape(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	j.Clock = fixedClock
+	j.Emit("run_start", struct {
+		Trace     string `json:"trace"`
+		Predictor string `json:"predictor"`
+	}{"SPEC03", "bf-neural"})
+	j.Emit("heartbeat", nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev["schema"] != JournalSchema || ev["event"] != "run_start" ||
+		ev["trace"] != "SPEC03" || ev["predictor"] != "bf-neural" {
+		t.Fatalf("line 0 fields wrong: %v", ev)
+	}
+	if ev["wall"] != "2026-08-05T12:00:00Z" {
+		t.Fatalf("wall = %v", ev["wall"])
+	}
+}
+
+// Journal bytes are deterministic for a fixed clock: payload keys are
+// flattened into one sorted-key object.
+func TestJournalDeterministicBytes(t *testing.T) {
+	emit := func() string {
+		var b strings.Builder
+		j := NewJournal(&b)
+		j.Clock = fixedClock
+		j.Emit("run_finish", struct {
+			Z    int     `json:"z"`
+			A    int     `json:"a"`
+			MPKI float64 `json:"mpki"`
+		}{1, 2, 3.25})
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := emit()
+	if second := emit(); first != second {
+		t.Fatalf("journal bytes differ:\n%q\n%q", first, second)
+	}
+	if !strings.HasPrefix(first, `{"a":2,`) {
+		t.Fatalf("keys not sorted: %q", first)
+	}
+}
+
+func TestJournalConcurrentEmit(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	j := NewJournal(w)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				j.Emit("tick", struct {
+					N int `json:"n"`
+				}{k})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("interleaved line %d: %v (%q)", n, err, sc.Text())
+		}
+		n++
+	}
+	if n != 400 {
+		t.Fatalf("events = %d, want 400", n)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestJournalStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	j := NewJournal(writerFunc(func(p []byte) (int, error) { return 0, boom }))
+	// The per-event flush surfaces the write error on the first Emit.
+	j.Emit("a", struct {
+		Pad string `json:"pad"`
+	}{strings.Repeat("x", 64)})
+	j.Emit("b", nil)
+	if !errors.Is(j.Flush(), boom) {
+		t.Fatalf("Flush() = %v, want sticky %v", j.Flush(), boom)
+	}
+	if !errors.Is(j.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", j.Err(), boom)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	j.Emit("x", nil)
+	if j.Err() != nil || j.Flush() != nil || j.Close() != nil {
+		t.Fatal("nil journal must be inert")
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the emit golden files")
+
+// goldenResults is a fixed result set covering the emit surface:
+// multiple traces and predictors, a windowed run, a window-less run,
+// and non-zero Elapsed/Instance fields that must NOT appear in the
+// output (suite emission is byte-stable across machines).
+func goldenResults() []RunResult {
+	return []RunResult{
+		{
+			Trace:     "SPEC00",
+			Predictor: "bf-neural",
+			Stats: Stats{
+				Branches:     100_000,
+				Mispredicts:  2_531,
+				Instructions: 548_202,
+				Window:       45_000,
+				Windows: []WindowStat{
+					{Branches: 45_000, Mispredicts: 1_400, Instructions: 274_000},
+					{Branches: 45_000, Mispredicts: 1_131, Instructions: 274_202},
+				},
+			},
+			Elapsed:  123 * time.Millisecond,
+			Instance: &StaticPredictor{},
+		},
+		{
+			Trace:     "SPEC00",
+			Predictor: "tage-15",
+			Stats: Stats{
+				Branches:     100_000,
+				Mispredicts:  2_210,
+				Instructions: 548_202,
+			},
+			Elapsed: 456 * time.Millisecond,
+		},
+		{
+			Trace:     "SERV3",
+			Predictor: "bf-isl-tage-10",
+			Stats: Stats{
+				Branches:     30_000,
+				Mispredicts:  999,
+				Instructions: 0, // degenerate: MPKI/accuracy divide guards
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestEmitGolden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden bytes.\ngot:\n%s\nwant:\n%s\n(if the schema change is intentional, rerun with -update and document it)", name, got, want)
+	}
+}
+
+// The bfbp.suite.v1 CSV and JSON schemas are frozen byte-for-byte:
+// downstream tooling parses these files, so any change must be a
+// deliberate schema bump, not a telemetry side effect.
+func TestEmitGoldenCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "suite.csv.golden", b.Bytes())
+}
+
+func TestEmitGoldenJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSON(&b, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "suite.json.golden", b.Bytes())
+}
+
+// Emission must not depend on wall-clock fields: scrambling Elapsed
+// yields identical bytes.
+func TestEmitExcludesTimings(t *testing.T) {
+	results := goldenResults()
+	var before, after bytes.Buffer
+	if err := WriteCSV(&before, results); err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		results[i].Elapsed = time.Duration(i+1) * time.Hour
+		results[i].Instance = nil
+	}
+	if err := WriteCSV(&after, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("CSV output depends on wall-clock fields")
+	}
+	before.Reset()
+	after.Reset()
+	if err := WriteJSON(&before, results); err != nil {
+		t.Fatal(err)
+	}
+	results[0].Elapsed = 999 * time.Hour
+	if err := WriteJSON(&after, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("JSON output depends on wall-clock fields")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"bfbp/internal/obs"
 	"bfbp/internal/trace"
 )
 
@@ -106,6 +107,15 @@ type Engine struct {
 	Options Options
 	// Progress, when non-nil, receives one event per completed cell.
 	Progress func(ProgressEvent)
+	// Metrics, when non-nil, receives live engine telemetry (queue
+	// depth, busy workers, run counters/latencies, sampled harness
+	// predict/update latencies). Nil disables collection entirely and
+	// runs the uninstrumented path.
+	Metrics *EngineMetrics
+	// Journal, when non-nil, receives bfbp.journal.v1 events
+	// (suite/run lifecycle, per-window MPKI, worker state transitions,
+	// table-hit distributions, storage budgets).
+	Journal *obs.Journal
 }
 
 // Run evaluates every job and returns results in job order — identical
@@ -116,31 +126,57 @@ type Engine struct {
 func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 	results := make([]RunResult, len(jobs))
 	var (
-		mu   sync.Mutex
-		done int
+		mu          sync.Mutex
+		done        int
+		failed      int
+		storageSeen sync.Map
 	)
-	err := ForEach(ctx, len(jobs), e.Workers, func(ctx context.Context, i int) error {
+	m, j := e.Metrics, e.Journal
+	workers := effectiveWorkers(e.Workers, len(jobs))
+	m.suiteStart(len(jobs), workers)
+	defer m.suiteFinish()
+	preds, traces := suiteNames(jobs)
+	j.Emit("suite_start", journalSuiteStart{Jobs: len(jobs), Workers: workers, Predictors: preds, Traces: traces})
+	suiteStart := time.Now()
+	err := forEachWorker(ctx, len(jobs), e.Workers, func(ctx context.Context, worker, i int) error {
 		job := jobs[i]
 		opt := e.Options
 		if job.Options != nil {
 			opt = *job.Options
 		}
+		if m != nil && opt.Probe == nil {
+			opt.Probe = m.Probe()
+		}
+		m.runStart()
+		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "busy"})
+		j.Emit("run_start", journalRunStart{Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker})
 		p := job.Predictor.New()
 		start := time.Now()
 		st, err := RunContext(ctx, p, job.Source.Open(), opt)
+		elapsed := time.Since(start)
+		m.runFinish(job.Predictor.Name, st, elapsed, err)
 		if err != nil {
+			mu.Lock()
+			failed++
+			mu.Unlock()
+			j.Emit("run_error", journalRunError{
+				Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker, Error: err.Error(),
+			})
+			j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle"})
 			return fmt.Errorf("sim: %s on %s: %w", job.Predictor.Name, job.Source.Name(), err)
 		}
 		results[i] = RunResult{
 			Trace:     job.Source.Name(),
 			Predictor: job.Predictor.Name,
 			Stats:     st,
-			Elapsed:   time.Since(start),
+			Elapsed:   elapsed,
 			Instance:  p,
 		}
+		journalRun(j, results[i], worker, &storageSeen)
+		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle"})
+		mu.Lock()
+		done++
 		if e.Progress != nil {
-			mu.Lock()
-			done++
 			e.Progress(ProgressEvent{
 				Done:      done,
 				Total:     len(jobs),
@@ -149,10 +185,11 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 				Stats:     st,
 				Elapsed:   results[i].Elapsed,
 			})
-			mu.Unlock()
 		}
+		mu.Unlock()
 		return nil
 	})
+	j.Emit("suite_finish", journalSuiteFinish{Runs: done, Failed: failed, ElapsedNS: time.Since(suiteStart).Nanoseconds()})
 	if err != nil {
 		return nil, err
 	}
@@ -167,15 +204,30 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 // addressed by index, callers get deterministic output ordering for
 // free regardless of the worker count.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
+	return forEachWorker(ctx, n, workers, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// effectiveWorkers resolves the worker-pool size ForEach/forEachWorker
+// will actually spawn for n jobs.
+func effectiveWorkers(workers, n int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// forEachWorker is ForEach with the worker's pool index passed to fn,
+// so instrumentation can attribute work to individual workers.
+func forEachWorker(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers = effectiveWorkers(workers, n)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -192,17 +244,17 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range work {
 				if ctx.Err() != nil {
 					continue // drain without running
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := fn(ctx, worker, i); err != nil {
 					fail(err)
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < n; i++ {

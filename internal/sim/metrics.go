@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"bfbp/internal/obs"
+)
+
+// Engine telemetry: metric names, the journal event set, and the
+// sampled harness probe. All of it is opt-in — an Engine with nil
+// Metrics/Journal runs the exact PR-1 path (the overhead benchmark in
+// metrics_test.go pins this) — and nil-safe, so instrumented code never
+// branches on "telemetry enabled?" at observation sites.
+
+// Latency buckets for predict/update probes: 16 exponential buckets
+// from 25ns to ~800µs, wide enough for every predictor in the registry
+// and for pathological GC pauses to stay visible in +Inf.
+func latencyBuckets() []float64 { return obs.ExpBuckets(25e-9, 2, 16) }
+
+// Run-duration buckets: 1ms to ~65s.
+func runBuckets() []float64 { return obs.ExpBuckets(1e-3, 2, 17) }
+
+// Throughput buckets: 100K to ~400M branches/sec.
+func rateBuckets() []float64 { return obs.ExpBuckets(1e5, 2, 12) }
+
+// EngineMetrics is the engine's metric set, registered under the
+// bfbp_engine_* / bfbp_harness_* names documented in DESIGN.md. Attach
+// one to Engine.Metrics; every Run then updates it. A nil
+// *EngineMetrics disables collection.
+type EngineMetrics struct {
+	workers     *obs.Gauge
+	queueDepth  *obs.Gauge
+	busyWorkers *obs.Gauge
+	runs        *obs.CounterFamily
+	runsOK      *obs.Counter
+	runsFailed  *obs.Counter
+	branches    *obs.Counter
+	runSeconds  *obs.HistogramFamily
+	branchRate  *obs.Histogram
+	predictLat  *obs.Histogram
+	updateLat   *obs.Histogram
+
+	// SampleEvery is the harness probe period in branches (rounded up
+	// to a power of two; 0 means 64). Predict/update latencies are
+	// sampled, not exhaustive, to bound instrumentation overhead.
+	SampleEvery uint64
+}
+
+// NewEngineMetrics registers the engine metric set on reg.
+func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
+	m := &EngineMetrics{
+		workers:     reg.Gauge("bfbp_engine_workers", "worker goroutines in the current suite run"),
+		queueDepth:  reg.Gauge("bfbp_engine_queue_depth", "matrix cells not yet picked up by a worker"),
+		busyWorkers: reg.Gauge("bfbp_engine_busy_workers", "workers currently simulating a cell"),
+		runs:        reg.CounterFamily("bfbp_engine_runs_total", "completed matrix cells by status", "status"),
+		branches:    reg.Counter("bfbp_engine_branches_total", "dynamic branches simulated across all runs"),
+		runSeconds: reg.HistogramFamily("bfbp_engine_run_seconds",
+			"per-cell wall time by predictor", runBuckets(), "predictor"),
+		branchRate: reg.Histogram("bfbp_engine_run_branches_per_second",
+			"per-cell simulation throughput", rateBuckets()),
+		predictLat: reg.Histogram("bfbp_harness_predict_seconds",
+			"sampled Predict latency", latencyBuckets()),
+		updateLat: reg.Histogram("bfbp_harness_update_seconds",
+			"sampled Update latency", latencyBuckets()),
+	}
+	m.runsOK = m.runs.With("ok")
+	m.runsFailed = m.runs.With("error")
+	return m
+}
+
+// Probe returns the sampled predict/update latency probe backed by
+// these metrics, for wiring into Options.Probe. Nil-safe.
+func (m *EngineMetrics) Probe() *HarnessProbe {
+	if m == nil {
+		return nil
+	}
+	return &HarnessProbe{Every: m.SampleEvery, Predict: m.predictLat, Update: m.updateLat}
+}
+
+func (m *EngineMetrics) suiteStart(jobs, workers int) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(int64(workers))
+	m.queueDepth.Set(int64(jobs))
+	m.busyWorkers.Set(0)
+}
+
+func (m *EngineMetrics) suiteFinish() {
+	if m == nil {
+		return
+	}
+	// Cancelled suites drain jobs without running them; the live gauges
+	// must not report phantom work after Run returns.
+	m.workers.Set(0)
+	m.queueDepth.Set(0)
+	m.busyWorkers.Set(0)
+}
+
+func (m *EngineMetrics) runStart() {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Dec()
+	m.busyWorkers.Inc()
+}
+
+func (m *EngineMetrics) runFinish(predictor string, st Stats, elapsed time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.busyWorkers.Dec()
+	if err != nil {
+		m.runsFailed.Inc()
+		return
+	}
+	m.runsOK.Inc()
+	m.branches.Add(st.Branches)
+	m.runSeconds.With(predictor).Observe(elapsed.Seconds())
+	if s := elapsed.Seconds(); s > 0 {
+		m.branchRate.Observe(float64(st.Branches) / s)
+	}
+}
+
+// EngineSnapshot is a point-in-time read of the engine gauges and
+// counters, for heartbeat lines and tests.
+type EngineSnapshot struct {
+	Workers, Queued, Busy int64
+	RunsOK, RunsFailed    uint64
+	Branches              uint64
+	PredictSamples        uint64
+	UpdateSamples         uint64
+}
+
+// Snapshot reads the current metric values. Nil-safe.
+func (m *EngineMetrics) Snapshot() EngineSnapshot {
+	if m == nil {
+		return EngineSnapshot{}
+	}
+	return EngineSnapshot{
+		Workers:        m.workers.Value(),
+		Queued:         m.queueDepth.Value(),
+		Busy:           m.busyWorkers.Value(),
+		RunsOK:         m.runsOK.Value(),
+		RunsFailed:     m.runsFailed.Value(),
+		Branches:       m.branches.Value(),
+		PredictSamples: m.predictLat.Count(),
+		UpdateSamples:  m.updateLat.Count(),
+	}
+}
+
+// HarnessProbe samples predict/update latencies inside RunContext's hot
+// loop. Only every Every'th branch is timed (Every rounds up to a power
+// of two; 0 means 64), so the cost is two time.Now calls per period
+// rather than per branch.
+type HarnessProbe struct {
+	// Every is the sampling period in branches.
+	Every uint64
+	// Predict and Update receive the sampled latencies in seconds.
+	Predict *obs.Histogram
+	Update  *obs.Histogram
+}
+
+// sampleMask returns Every-1 with Every rounded up to a power of two,
+// so the hot loop decides "sample this branch?" with one AND.
+func (pr *HarnessProbe) sampleMask() uint64 {
+	e := pr.Every
+	if e == 0 {
+		e = 64
+	}
+	m := uint64(1)
+	for m < e {
+		m <<= 1
+	}
+	return m - 1
+}
+
+// The bfbp.journal.v1 event payloads. Field names are frozen by the
+// schema documented in DESIGN.md §Observability; wall-clock-derived
+// fields (elapsed_ns, branches_per_sec — plus the "wall" stamp the
+// journal itself adds) are the only nondeterministic content.
+
+type journalSuiteStart struct {
+	Jobs       int      `json:"jobs"`
+	Workers    int      `json:"workers"`
+	Predictors []string `json:"predictors"`
+	Traces     []string `json:"traces"`
+}
+
+type journalSuiteFinish struct {
+	Runs      int   `json:"runs"`
+	Failed    int   `json:"failed"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+type journalRunStart struct {
+	Trace     string `json:"trace"`
+	Predictor string `json:"predictor"`
+	Worker    int    `json:"worker"`
+}
+
+type journalRunFinish struct {
+	Trace          string  `json:"trace"`
+	Predictor      string  `json:"predictor"`
+	Worker         int     `json:"worker"`
+	Branches       uint64  `json:"branches"`
+	Instructions   uint64  `json:"instructions"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	MPKI           float64 `json:"mpki"`
+	Accuracy       float64 `json:"accuracy"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+}
+
+type journalRunError struct {
+	Trace     string `json:"trace"`
+	Predictor string `json:"predictor"`
+	Worker    int    `json:"worker"`
+	Error     string `json:"error"`
+}
+
+type journalWindow struct {
+	Trace        string  `json:"trace"`
+	Predictor    string  `json:"predictor"`
+	Index        int     `json:"index"`
+	Branches     uint64  `json:"branches"`
+	Mispredicts  uint64  `json:"mispredicts"`
+	Instructions uint64  `json:"instructions"`
+	MPKI         float64 `json:"mpki"`
+}
+
+type journalTableHits struct {
+	Trace     string   `json:"trace"`
+	Predictor string   `json:"predictor"`
+	Hits      []uint64 `json:"hits"`
+}
+
+type journalStorageComponent struct {
+	Name string `json:"name"`
+	Bits int    `json:"bits"`
+}
+
+type journalStorage struct {
+	Predictor  string                    `json:"predictor"`
+	TotalBits  int                       `json:"total_bits"`
+	Components []journalStorageComponent `json:"components"`
+}
+
+type journalWorkerState struct {
+	Worker int    `json:"worker"`
+	State  string `json:"state"`
+}
+
+// journalRun emits the per-run event group for one completed cell:
+// run_finish, one window event per WindowStat, the provider-table
+// histogram for TAGE-class predictors, and (once per predictor name per
+// suite) the storage budget.
+func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map) {
+	if j == nil {
+		return
+	}
+	st := res.Stats
+	var rate float64
+	if s := res.Elapsed.Seconds(); s > 0 {
+		rate = float64(st.Branches) / s
+	}
+	j.Emit("run_finish", journalRunFinish{
+		Trace:          res.Trace,
+		Predictor:      res.Predictor,
+		Worker:         worker,
+		Branches:       st.Branches,
+		Instructions:   st.Instructions,
+		Mispredicts:    st.Mispredicts,
+		MPKI:           st.MPKI(),
+		Accuracy:       st.Accuracy(),
+		ElapsedNS:      res.Elapsed.Nanoseconds(),
+		BranchesPerSec: rate,
+	})
+	for i, w := range st.Windows {
+		j.Emit("window", journalWindow{
+			Trace:        res.Trace,
+			Predictor:    res.Predictor,
+			Index:        i,
+			Branches:     w.Branches,
+			Mispredicts:  w.Mispredicts,
+			Instructions: w.Instructions,
+			MPKI:         w.MPKI(),
+		})
+	}
+	if th, ok := res.Instance.(TableHitReporter); ok {
+		j.Emit("table_hits", journalTableHits{Trace: res.Trace, Predictor: res.Predictor, Hits: th.TableHits()})
+	}
+	if sa, ok := res.Instance.(StorageAccounter); ok {
+		if _, dup := storageSeen.LoadOrStore(res.Predictor, true); !dup {
+			b := sa.Storage()
+			ev := journalStorage{Predictor: res.Predictor, TotalBits: b.TotalBits()}
+			for _, c := range b.Components {
+				ev.Components = append(ev.Components, journalStorageComponent{Name: c.Name, Bits: c.Bits})
+			}
+			j.Emit("storage", ev)
+		}
+	}
+}
+
+// suiteNames extracts the distinct predictor and trace names of a job
+// list, in first-appearance order, for the suite_start event.
+func suiteNames(jobs []Job) (preds, traces []string) {
+	seenP := map[string]bool{}
+	seenT := map[string]bool{}
+	for _, job := range jobs {
+		if p := job.Predictor.Name; !seenP[p] {
+			seenP[p] = true
+			preds = append(preds, p)
+		}
+		if t := job.Source.Name(); !seenT[t] {
+			seenT[t] = true
+			traces = append(traces, t)
+		}
+	}
+	return preds, traces
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"bfbp/internal/trace"
 )
@@ -173,7 +174,25 @@ func (s Stats) TopOffenders(n int) []Offender {
 // stays a short window rather than being re-bucketed). The engine uses
 // this to aggregate warmup-split or trace-sharded runs without losing
 // TopOffenders or phase data. Window adopts the first non-zero size.
+//
+// When exactly one side collected windowed metrics (the other ran with
+// Window = 0), the unwindowed shard's aggregate is folded in as a
+// single synthetic window at its position in run order, so the merged
+// series still covers the whole run and the invariant
+// sum(Windows) == post-warmup totals is preserved. A synthetic
+// window's Branches field includes that shard's warmup branches (the
+// shard did not record the split); its Mispredicts, Instructions, and
+// therefore MPKI are exact.
 func (s *Stats) Merge(other Stats) {
+	sWindowed := s.Window > 0 || len(s.Windows) > 0
+	oWindowed := other.Window > 0 || len(other.Windows) > 0
+	if !sWindowed && oWindowed && s.Branches > 0 {
+		s.Windows = append(s.Windows, WindowStat{
+			Branches:     s.Branches,
+			Mispredicts:  s.Mispredicts,
+			Instructions: s.Instructions,
+		})
+	}
 	s.Branches += other.Branches
 	s.Mispredicts += other.Mispredicts
 	s.Instructions += other.Instructions
@@ -194,6 +213,14 @@ func (s *Stats) Merge(other Stats) {
 	if s.Window == 0 {
 		s.Window = other.Window
 	}
+	if sWindowed && !oWindowed && other.Branches > 0 {
+		s.Windows = append(s.Windows, WindowStat{
+			Branches:     other.Branches,
+			Mispredicts:  other.Mispredicts,
+			Instructions: other.Instructions,
+		})
+		return
+	}
 	s.Windows = append(s.Windows, other.Windows...)
 }
 
@@ -212,6 +239,11 @@ type Options struct {
 	// WindowStat per Window post-warmup branches (plus a final partial
 	// window) into Stats.Windows.
 	Window uint64
+	// Probe, when non-nil, samples Predict/Update latencies into its
+	// histograms every Probe.Every branches. The engine injects one
+	// automatically when Engine.Metrics is set; a nil Probe runs the
+	// uninstrumented hot path.
+	Probe *HarnessProbe
 }
 
 type pending struct {
@@ -238,6 +270,11 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 	if opt.PerPC {
 		stats.perPC = make(map[uint64]*pcStat)
 	}
+	probe := opt.Probe
+	var probeMask uint64
+	if probe != nil {
+		probeMask = probe.sampleMask()
+	}
 	var queue []pending
 	var win WindowStat
 	for {
@@ -253,7 +290,18 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 		if err != nil {
 			return stats, fmt.Errorf("sim: trace read: %w", err)
 		}
-		pred := p.Predict(rec.PC)
+		// Sampled latency probe: time every probeMask+1'th branch so
+		// instrumentation costs two clock reads per period, not per
+		// branch. The nil-probe path is a single predictable test.
+		sample := probe != nil && stats.Branches&probeMask == 0
+		var pred bool
+		if sample {
+			t0 := time.Now()
+			pred = p.Predict(rec.PC)
+			probe.Predict.Observe(time.Since(t0).Seconds())
+		} else {
+			pred = p.Predict(rec.PC)
+		}
 		inWarmup := stats.Branches < opt.Warmup
 		stats.Branches++
 		if !inWarmup {
@@ -285,14 +333,20 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 				}
 			}
 		}
-		if opt.UpdateDelay <= 0 {
-			p.Update(rec.PC, rec.Taken, rec.Target)
-			continue
-		}
-		queue = append(queue, pending{rec.PC, rec.Taken, rec.Target})
-		if len(queue) > opt.UpdateDelay {
-			u := queue[0]
+		u := pending{rec.PC, rec.Taken, rec.Target}
+		if opt.UpdateDelay > 0 {
+			queue = append(queue, u)
+			if len(queue) <= opt.UpdateDelay {
+				continue
+			}
+			u = queue[0]
 			queue = queue[1:]
+		}
+		if sample {
+			t0 := time.Now()
+			p.Update(u.pc, u.taken, u.target)
+			probe.Update.Observe(time.Since(t0).Seconds())
+		} else {
 			p.Update(u.pc, u.taken, u.target)
 		}
 	}

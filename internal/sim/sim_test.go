@@ -188,3 +188,83 @@ func TestBreakdownTotals(t *testing.T) {
 		t.Fatal("String should render")
 	}
 }
+
+// Merging a windowed shard with an unwindowed one must not silently
+// drop the unwindowed shard from the series: the aggregate folds in as
+// one synthetic window at its run-order position, preserving
+// sum(Windows) == post-warmup totals.
+func TestStatsMergeWindowedWithUnwindowed(t *testing.T) {
+	tr := mkTrace([]bool{true, false, true, false, true, false, true, false})
+
+	windowed, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unwindowed, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkCoverage := func(t *testing.T, st Stats) {
+		t.Helper()
+		var wm, wi uint64
+		for _, w := range st.Windows {
+			wm += w.Mispredicts
+			wi += w.Instructions
+		}
+		if wm != st.Mispredicts || wi != st.Instructions {
+			t.Fatalf("window sums (%d,%d) disagree with totals (%d,%d): %+v",
+				wm, wi, st.Mispredicts, st.Instructions, st.Windows)
+		}
+	}
+
+	t.Run("unwindowed-into-windowed", func(t *testing.T) {
+		merged := windowed
+		merged.Windows = append([]WindowStat(nil), windowed.Windows...)
+		merged.Merge(unwindowed)
+		if len(merged.Windows) != len(windowed.Windows)+1 {
+			t.Fatalf("windows = %d, want %d (one synthetic)", len(merged.Windows), len(windowed.Windows)+1)
+		}
+		synth := merged.Windows[len(merged.Windows)-1]
+		if synth.Branches != unwindowed.Branches || synth.Mispredicts != unwindowed.Mispredicts {
+			t.Fatalf("synthetic window %+v does not cover shard %+v", synth, unwindowed)
+		}
+		if merged.Window != 4 {
+			t.Fatalf("Window = %d, want 4", merged.Window)
+		}
+		checkCoverage(t, merged)
+	})
+
+	t.Run("windowed-into-unwindowed", func(t *testing.T) {
+		merged := unwindowed
+		merged.Merge(windowed)
+		// Synthetic window for the unwindowed prefix, then the series.
+		if len(merged.Windows) != 1+len(windowed.Windows) {
+			t.Fatalf("windows = %d, want %d", len(merged.Windows), 1+len(windowed.Windows))
+		}
+		if merged.Windows[0].Branches != unwindowed.Branches {
+			t.Fatalf("synthetic prefix window %+v", merged.Windows[0])
+		}
+		if merged.Window != 4 {
+			t.Fatalf("Window = %d, want 4", merged.Window)
+		}
+		checkCoverage(t, merged)
+	})
+
+	t.Run("both-unwindowed-stays-empty", func(t *testing.T) {
+		merged := unwindowed
+		merged.Merge(unwindowed)
+		if len(merged.Windows) != 0 || merged.Window != 0 {
+			t.Fatalf("unwindowed merge grew windows: %+v", merged)
+		}
+	})
+
+	t.Run("empty-into-windowed", func(t *testing.T) {
+		merged := windowed
+		merged.Windows = append([]WindowStat(nil), windowed.Windows...)
+		merged.Merge(Stats{})
+		if len(merged.Windows) != len(windowed.Windows) {
+			t.Fatalf("merging empty stats added a window: %+v", merged.Windows)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package telemetry wires the obs substrate into the command-line
+// tools: one call turns the -metrics-addr / -journal / -heartbeat
+// flags into a live metrics endpoint (Prometheus text + expvar JSON +
+// net/http/pprof), a bfbp.journal.v1 JSONL file, and a periodic stderr
+// heartbeat summarising engine progress.
+//
+// Everything degrades to zero cost when disabled: Start returns a nil
+// *T when no telemetry was requested, and every method on a nil *T is
+// a no-op, so commands wire it unconditionally.
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"bfbp/internal/obs"
+	"bfbp/internal/sim"
+)
+
+// Config selects which telemetry sinks to enable. The zero value
+// disables everything.
+type Config struct {
+	// MetricsAddr, when non-empty, serves /metrics, /debug/vars, and
+	// /debug/pprof/* on this listen address (e.g. "localhost:8080").
+	MetricsAddr string
+	// JournalPath, when non-empty, appends bfbp.journal.v1 JSONL events
+	// to this file (created or truncated).
+	JournalPath string
+	// Heartbeat, when positive, prints an engine-progress line to
+	// stderr at this period.
+	Heartbeat time.Duration
+}
+
+// T is a running telemetry stack. A nil *T is valid and inert.
+type T struct {
+	// Registry holds every metric; serve or snapshot it as needed.
+	Registry *obs.Registry
+	// Engine is the engine metric set commands attach to sim.Engine.
+	Engine *sim.EngineMetrics
+	// Journal is the run journal (nil when -journal is unset).
+	Journal *obs.Journal
+	// Addr is the bound metrics listen address ("" when -metrics-addr
+	// is unset); it differs from Config.MetricsAddr for ":0" binds.
+	Addr string
+
+	server      *http.Server
+	journalFile *os.File
+	stop        chan struct{}
+	stopped     chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// Enabled reports whether cfg requests any telemetry.
+func (cfg Config) Enabled() bool {
+	return cfg.MetricsAddr != "" || cfg.JournalPath != "" || cfg.Heartbeat > 0
+}
+
+// Start brings up the requested sinks. It returns (nil, nil) when cfg
+// is fully disabled. The listener is bound synchronously so address
+// errors fail fast; serving happens on a background goroutine.
+func Start(cfg Config) (*T, error) {
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	t := &T{Registry: obs.NewRegistry()}
+	t.Engine = sim.NewEngineMetrics(t.Registry)
+
+	if cfg.JournalPath != "" {
+		f, err := os.Create(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: journal: %w", err)
+		}
+		t.journalFile = f
+		t.Journal = obs.NewJournal(f)
+	}
+
+	if cfg.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			t.closeJournal()
+			return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+		}
+		t.server = &http.Server{Handler: obs.NewMux(t.Registry)}
+		t.Addr = ln.Addr().String()
+		go func() { _ = t.server.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "bfbp: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	}
+
+	if cfg.Heartbeat > 0 {
+		t.stop = make(chan struct{})
+		t.stopped = make(chan struct{})
+		go t.heartbeat(cfg.Heartbeat)
+	}
+	return t, nil
+}
+
+// Attach points an engine at the telemetry sinks. Nil-safe.
+func (t *T) Attach(eng *sim.Engine) {
+	if t == nil {
+		return
+	}
+	eng.Metrics = t.Engine
+	eng.Journal = t.Journal
+}
+
+// EngineMetrics returns the engine metric set (nil when telemetry is
+// off), for wiring through config structs.
+func (t *T) EngineMetrics() *sim.EngineMetrics {
+	if t == nil {
+		return nil
+	}
+	return t.Engine
+}
+
+// RunJournal returns the run journal (nil when off).
+func (t *T) RunJournal() *obs.Journal {
+	if t == nil {
+		return nil
+	}
+	return t.Journal
+}
+
+// heartbeat prints one progress line per period:
+//
+//	bfbp: 12/160 runs (0 failed), 8 busy, 140 queued, 45.2M branches, 3.4M branches/s
+//
+// The rate is the branch-counter delta since the previous beat.
+func (t *T) heartbeat(period time.Duration) {
+	defer close(t.stopped)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	var lastBranches uint64
+	last := time.Now()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-tick.C:
+			s := t.Engine.Snapshot()
+			rate := float64(s.Branches-lastBranches) / now.Sub(last).Seconds()
+			done := s.RunsOK + s.RunsFailed
+			total := done + uint64(s.Queued) + uint64(s.Busy)
+			fmt.Fprintf(os.Stderr, "bfbp: %d/%d runs (%d failed), %d busy, %d queued, %s branches, %s branches/s\n",
+				done, total, s.RunsFailed, s.Busy, s.Queued, human(float64(s.Branches)), human(rate))
+			lastBranches, last = s.Branches, now
+		}
+	}
+}
+
+// human renders a count with K/M/G suffixes for heartbeat lines.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func (t *T) closeJournal() {
+	if t.journalFile != nil {
+		_ = t.Journal.Close()
+		_ = t.journalFile.Close()
+	}
+}
+
+// Close stops the heartbeat, flushes and closes the journal, and shuts
+// the metrics server down. Nil-safe and idempotent; returns the first
+// error (on every call, so a deferred second Close is harmless).
+func (t *T) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.closeOnce.Do(func() {
+		if t.stop != nil {
+			close(t.stop)
+			<-t.stopped
+		}
+		if t.Journal != nil {
+			if err := t.Journal.Close(); err != nil {
+				t.closeErr = err
+			}
+		}
+		if t.journalFile != nil {
+			if err := t.journalFile.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+		if t.server != nil {
+			if err := t.server.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+	})
+	return t.closeErr
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bfbp/internal/sim"
+	"bfbp/internal/workload"
+)
+
+func TestDisabledConfigIsInert(t *testing.T) {
+	tel, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel != nil {
+		t.Fatal("disabled config must return nil T")
+	}
+	// Every method on the nil T is a no-op.
+	var eng sim.Engine
+	tel.Attach(&eng)
+	if eng.Metrics != nil || eng.Journal != nil {
+		t.Fatal("nil T attached telemetry")
+	}
+	if tel.EngineMetrics() != nil || tel.RunJournal() != nil || tel.Close() != nil {
+		t.Fatal("nil T methods must be inert")
+	}
+}
+
+// End-to-end: run a small suite with every sink enabled, then check
+// the HTTP surface and the journal file.
+func TestStartServesMetricsAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	tel, err := Start(Config{MetricsAddr: "127.0.0.1:0", JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+
+	var eng sim.Engine
+	eng.Workers = 2
+	tel.Attach(&eng)
+	if eng.Metrics == nil || eng.Journal == nil {
+		t.Fatal("Attach wired nothing")
+	}
+	spec, ok := workload.ByName("INT1")
+	if !ok {
+		t.Fatal("INT1 missing")
+	}
+	jobs := sim.Matrix(
+		[]sim.TraceSource{spec.Source(20_000)},
+		[]sim.PredictorSpec{{Name: "static-taken", New: func() sim.Predictor { return &sim.StaticPredictor{Direction: true} }}},
+		sim.Options{Window: 5_000},
+	)
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + tel.Addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d err %v", path, resp.StatusCode, err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `bfbp_engine_runs_total{status="ok"} 1`) {
+		t.Fatalf("/metrics missing run counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"bfbp_engine_branches_total"`) {
+		t.Fatalf("/debug/vars missing branches counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index not served:\n%s", body)
+	}
+
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Schema string `json:"schema"`
+			Event  string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		if ev.Schema != "bfbp.journal.v1" {
+			t.Fatalf("wrong schema %q", ev.Schema)
+		}
+		events[ev.Event]++
+	}
+	for _, want := range []string{"suite_start", "run_start", "run_finish", "window", "suite_finish"} {
+		if events[want] == 0 {
+			t.Fatalf("journal missing %s events (got %v)", want, events)
+		}
+	}
+}
+
+func TestStartBadAddrFailsFast(t *testing.T) {
+	if _, err := Start(Config{MetricsAddr: "256.256.256.256:99999"}); err == nil {
+		t.Fatal("want listen error")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	for v, want := range map[float64]string{
+		12:    "12",
+		4_200: "4.2K",
+		3.4e6: "3.4M",
+		2.5e9: "2.5G",
+	} {
+		if got := human(v); got != want {
+			t.Fatalf("human(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
