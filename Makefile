@@ -23,6 +23,9 @@ check: build vet race
 
 # Benchmarks for the root package plus the harness/engine telemetry
 # overhead benchmarks; output is saved to bench.txt for comparison
-# across changes (e.g. with benchstat).
+# across changes (e.g. with benchstat). CI runs a compile-and-run smoke
+# pass with BENCHTIME=1x; leave the default for meaningful numbers.
+BENCHTIME ?= 1s
+
 bench:
-	$(GO) test -bench=. -benchmem . ./internal/sim | tee bench.txt
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) . ./internal/sim | tee bench.txt

@@ -114,6 +114,29 @@ type (
 	HarnessProbe = sim.HarnessProbe
 )
 
+// Decision-provenance types, re-exported from the harness. Enable with
+// Options.Explain on predictors implementing Explainer; the harness
+// then fills Stats.Provenance with the misprediction taxonomy and
+// component/bank attribution.
+type (
+	// Explainer describes a predictor's most recent prediction.
+	Explainer = sim.Explainer
+	// BankReacher reports per-tagged-bank raw-branch history reach.
+	BankReacher = sim.BankReacher
+	// Provenance describes how one prediction was made.
+	Provenance = sim.Provenance
+	// WeightContrib is one signed adder-tree contribution.
+	WeightContrib = sim.WeightContrib
+	// ProvenanceStats aggregates a run's decision trace.
+	ProvenanceStats = sim.ProvenanceStats
+	// ComponentStat counts predictions attributed to one component.
+	ComponentStat = sim.ComponentStat
+)
+
+// MispredictCauses lists the misprediction taxonomy in classification
+// order.
+func MispredictCauses() []string { return sim.Causes() }
+
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 

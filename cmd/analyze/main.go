@@ -8,6 +8,7 @@
 //	analyze -t SPEC00 -p isl-tage-10,bf-isl-tage-10       # comparison
 //	analyze -t SERV3 -p bf-neural -offenders 15           # worst PCs
 //	analyze -t SPEC06 -population                         # branch classes only
+//	analyze -t SERV1 -p tage-8,bf-tage-8 -explain         # provenance + paper-shape
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 		branches   = flag.Int("n", 400_000, "dynamic branches")
 		offenders  = flag.Int("offenders", 0, "print the top-N mispredicted PCs with classes")
 		population = flag.Bool("population", false, "print the branch population summary and exit")
+		explain    = flag.Bool("explain", false, "decision provenance: cause taxonomy, component/bank attribution, paper-shape check")
+		explainNN  = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,11 @@ func main() {
 		ps = append(ps, p)
 	}
 
+	if *explain {
+		explainRun(spec, *branches, *explainNN, ps)
+		return
+	}
+
 	if len(ps) == 1 && *offenders > 0 {
 		tr := spec.GenerateN(*branches)
 		classes, err := analysis.Classify(tr.Stream())
@@ -93,6 +101,68 @@ func main() {
 	}
 	fmt.Printf("misprediction attribution on %s (%d branches):\n\n", spec.Name, *branches)
 	fmt.Print(cmp.Render())
+}
+
+// explainRun evaluates each predictor with decision-provenance tracing
+// and prints the attribution reports; when the list pairs a bias-free
+// predictor with a conventional one (both with bank attribution), the
+// paper-shape validation runs on the pair.
+func explainRun(spec workload.Spec, branches int, sample uint64, ps []sim.Predictor) {
+	tr := spec.GenerateN(branches)
+	classes, err := analysis.Classify(tr.Stream())
+	if err != nil {
+		fatal(err)
+	}
+	var shapes []analysis.ShapeInput
+	for _, p := range ps {
+		st, err := bfbp.Run(p, tr.Stream(), bfbp.Options{
+			Warmup:       uint64(branches / 10),
+			PerPC:        true,
+			Explain:      true,
+			ExplainEvery: sample,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s: MPKI %.3f\n", p.Name(), spec.Name, st.MPKI())
+		if pv := st.Provenance; pv != nil {
+			fmt.Print(analysis.CauseBreakdownReport(p.Name(), pv))
+			fmt.Print(analysis.ComponentReport(pv))
+			if banks := analysis.BankUtilizationReport(pv); banks != "" {
+				fmt.Print(banks)
+			}
+		} else {
+			fmt.Printf("  (no provenance: %s does not implement Explain)\n", p.Name())
+		}
+		fmt.Println()
+		in := analysis.ShapeInput{Name: p.Name(), Stats: st}
+		if br, ok := p.(sim.BankReacher); ok {
+			in.Reach = br.BankReach()
+		}
+		shapes = append(shapes, in)
+	}
+	if bf, base, ok := shapePair(shapes); ok {
+		fmt.Print(analysis.PaperShape(bf, base, classes).Render())
+	}
+}
+
+// shapePair picks the first bias-free and first conventional predictor
+// that both collected provenance; bank reach rides along when present.
+func shapePair(shapes []analysis.ShapeInput) (bf, base analysis.ShapeInput, ok bool) {
+	var haveBF, haveBase bool
+	for _, s := range shapes {
+		if s.Stats.Provenance == nil {
+			continue
+		}
+		if strings.HasPrefix(s.Name, "bf-") {
+			if !haveBF {
+				bf, haveBF = s, true
+			}
+		} else if !haveBase {
+			base, haveBase = s, true
+		}
+	}
+	return bf, base, haveBF && haveBase
 }
 
 // byName resolves bfsim-style predictor names via the public API.

@@ -15,6 +15,7 @@
 //	bfsim -p bf-neural -t all -json -workers 4   # engine JSON output
 //	bfsim -p bf-tage-10 -t SERV3 -offenders 10   # top mispredicted PCs
 //	bfsim -p bf-tage-10 -t SPEC00 -tablehits     # provider histogram
+//	bfsim -p bf-tage-10 -t SERV1 -explain        # cause taxonomy + attribution
 //	bfsim -p bf-neural -storage                  # storage budget only
 //	bfsim -list                                  # available predictors
 //
@@ -38,6 +39,7 @@ import (
 	"strings"
 
 	"bfbp"
+	"bfbp/internal/analysis"
 	"bfbp/internal/telemetry"
 	"bfbp/internal/trace"
 )
@@ -56,6 +58,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit engine results (and window series) as JSON")
 		offenders = flag.Int("offenders", 0, "print the top-N mispredicted PCs")
 		tableHits = flag.Bool("tablehits", false, "print the provider-table histogram")
+		explain   = flag.Bool("explain", false, "collect decision provenance (cause taxonomy, component/bank attribution)")
+		explainNN = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
 		storage   = flag.Bool("storage", false, "print the storage budget and exit")
 		list      = flag.Bool("list", false, "list available predictor names")
 
@@ -115,10 +119,12 @@ func main() {
 	eng := bfbp.Engine{
 		Workers: *workers,
 		Options: bfbp.Options{
-			Warmup:      warm,
-			UpdateDelay: *delay,
-			PerPC:       *offenders > 0,
-			Window:      *window,
+			Warmup:       warm,
+			UpdateDelay:  *delay,
+			PerPC:        *offenders > 0,
+			Window:       *window,
+			Explain:      *explain,
+			ExplainEvery: *explainNN,
 		},
 	}
 	tel.Attach(&eng)
@@ -197,9 +203,13 @@ func printText(results []bfbp.RunResult, showTrace bool, offenders int, tableHit
 			fmt.Println()
 		}
 		if offenders > 0 {
-			for _, o := range r.Stats.TopOffenders(offenders) {
-				fmt.Printf("    pc %#x: %d/%d mispredicted (%.1f%%)\n",
-					o.PC, o.Mispredicts, o.Count, 100*float64(o.Mispredicts)/float64(o.Count))
+			fmt.Print(indent(analysis.TopOffendersReport(r.Stats, nil, offenders)))
+		}
+		if pv := r.Stats.Provenance; pv != nil {
+			fmt.Print(indent(analysis.CauseBreakdownReport(r.Predictor, pv)))
+			fmt.Print(indent(analysis.ComponentReport(pv)))
+			if banks := analysis.BankUtilizationReport(pv); banks != "" {
+				fmt.Print(indent(banks))
 			}
 		}
 		if tableHits {
@@ -218,6 +228,18 @@ func printText(results []bfbp.RunResult, showTrace bool, offenders int, tableHit
 			}
 		}
 	}
+}
+
+// indent prefixes every non-empty line of a report for nesting under a
+// result row.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "    " + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func fatal(err error) {

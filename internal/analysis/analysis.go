@@ -215,10 +215,22 @@ func (c Comparison) Render() string {
 	return b.String()
 }
 
-// TopOffendersReport renders the worst-predicted PCs with their branch
-// classes for context.
+// TopOffendersReport renders the worst-predicted PCs, with their branch
+// classes for context when a classification is supplied. A nil classes
+// map omits the taken%/flip% columns instead of printing zeros, so
+// callers without a trace classification (cmd/bfsim) share this
+// formatter too.
 func TopOffendersReport(st sim.Stats, classes map[uint64]*BranchClass, n int) string {
 	var b strings.Builder
+	if classes == nil {
+		fmt.Fprintf(&b, "%-12s %10s %10s %8s\n", "pc", "count", "mispred", "rate")
+		for _, o := range st.TopOffenders(n) {
+			fmt.Fprintf(&b, "%#-12x %10d %10d %7.1f%%\n",
+				o.PC, o.Count, o.Mispredicts,
+				100*float64(o.Mispredicts)/float64(o.Count))
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %8s\n",
 		"pc", "count", "mispred", "rate", "taken%", "flip%")
 	for _, o := range st.TopOffenders(n) {

@@ -224,6 +224,46 @@ func (p *Predictor) adaptTheta(mispred bool, mag int32) {
 	}
 }
 
+// explainTopWeights is the number of contributions Explain reports.
+const explainTopWeights = 8
+
+// Explain implements sim.Explainer: the adder-tree sum against theta
+// with per-table 2w+1 contributions (Position = table index), plus the
+// branch's BST classification. BF-GEHL's filter gates history insertion,
+// not prediction, so FilterDecision stays false.
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	var cp checkpoint
+	found := false
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			cp = p.pending[j]
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp = checkpoint{pc: pc, sum: p.compute(pc)}
+		cp.idxs = append(cp.idxs, p.idxBuf...)
+	}
+	ws := make([]sim.WeightContrib, 0, len(cp.idxs))
+	for i, idx := range cp.idxs {
+		ws = append(ws, sim.WeightContrib{Position: i, Weight: 2*int32(p.tables[i][idx]) + 1})
+	}
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	return sim.Provenance{
+		Predictor:  p.Name(),
+		Component:  "adder",
+		Prediction: cp.sum >= 0,
+		Confidence: mag,
+		Threshold:  p.theta,
+		TopWeights: sim.TopWeightContribs(ws, explainTopWeights),
+		BiasState:  p.class.Lookup(pc).String(),
+	}
+}
+
 // Storage implements sim.StorageAccounter.
 func (p *Predictor) Storage() sim.Breakdown {
 	return sim.Breakdown{
@@ -240,4 +280,5 @@ func (p *Predictor) Storage() sim.Breakdown {
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

@@ -143,17 +143,18 @@ type fentry struct {
 }
 
 type checkpoint struct {
-	pc       uint64
-	state    bst.State
-	accum    int32
-	wmRows   []int32 // flat Wm indices, -1 when unpopulated
-	wmDirs   []bool
-	wrsIdxs  []int32
-	wrsDirs  []bool
-	loopPred bool
-	loopOK   bool
-	pred     bool // the perceptron/bias decision before loop override
-	final    bool
+	pc          uint64
+	state       bst.State
+	accum       int32
+	wmRows      []int32 // flat Wm indices, -1 when unpopulated
+	wmDirs      []bool
+	wrsIdxs     []int32
+	wrsDirs     []bool
+	loopPred    bool
+	loopOK      bool
+	loopApplied bool
+	pred        bool // the perceptron/bias decision before loop override
+	final       bool
 }
 
 // Predictor is the BF-Neural predictor.
@@ -362,6 +363,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 		cp.loopPred, cp.loopOK = lp, ok
 		if ok && p.withLoop >= 0 {
 			cp.final = lp
+			cp.loopApplied = true
 		}
 	}
 	p.pending = append(p.pending, cp)
@@ -537,6 +539,87 @@ func (p *Predictor) Theta() int32 { return p.theta }
 // FilteredLen exposes the live filtered-history length (for tests).
 func (p *Predictor) FilteredLen() int { return len(p.filt) }
 
+// explainTopWeights is the number of contributions Explain reports.
+const explainTopWeights = 8
+
+// Explain implements sim.Explainer. The component reflects the BST
+// gate: biased and not-yet-seen branches report "bias-filter" with
+// FilterDecision set (the paper's biased-skip path), non-biased branches
+// report the perceptron sum against theta with the strongest Wm/Wrs
+// contributions (position 0 = bias weight, 1..RecentUnfiltered = Wm
+// history positions, beyond that = recency-stack slots).
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	var cp checkpoint
+	found := false
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			cp = p.pending[j]
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp = checkpoint{pc: pc, state: p.class.Lookup(pc)}
+		switch cp.state {
+		case bst.NotFound:
+			cp.pred = p.cfg.NotFoundPrediction
+		case bst.Taken:
+			cp.pred = true
+		case bst.NotTaken:
+			cp.pred = false
+		default:
+			p.compute(pc, &cp)
+			cp.pred = cp.accum >= 0
+		}
+		cp.final = cp.pred
+	}
+	prov := sim.Provenance{
+		Predictor:  p.Name(),
+		Prediction: cp.final,
+		BiasState:  cp.state.String(),
+	}
+	switch {
+	case cp.loopApplied:
+		prov.Component = "loop"
+		// The loop predictor only overrides at full confidence.
+		prov.Confidence = 7
+	case cp.state == bst.NonBiased:
+		prov.Component = "perceptron"
+		mag := cp.accum
+		if mag < 0 {
+			mag = -mag
+		}
+		prov.Confidence = mag
+		prov.Threshold = p.theta
+		ht := p.cfg.RecentUnfiltered
+		ws := make([]sim.WeightContrib, 0, len(cp.wmRows)+len(cp.wrsIdxs)+1)
+		ws = append(ws, sim.WeightContrib{Position: 0, Weight: int32(p.wb[(pc>>2)&p.biasMask])})
+		for i, row := range cp.wmRows {
+			if row < 0 {
+				continue
+			}
+			w := int32(p.wm[row])
+			if !cp.wmDirs[i] {
+				w = -w
+			}
+			ws = append(ws, sim.WeightContrib{Position: i + 1, Weight: w})
+		}
+		for j, idx := range cp.wrsIdxs {
+			w := int32(p.wrs[idx])
+			if !cp.wrsDirs[j] {
+				w = -w
+			}
+			ws = append(ws, sim.WeightContrib{Position: ht + 1 + j, Weight: w})
+		}
+		prov.TopWeights = sim.TopWeightContribs(ws, explainTopWeights)
+	default:
+		prov.Component = "bias-filter"
+		prov.Confidence = 1
+		prov.FilterDecision = true
+	}
+	return prov
+}
+
 // Storage implements sim.StorageAccounter. Wm and Wrs weights are 6-bit,
 // bias weights 8-bit, RS entries carry a 14-bit hashed address, outcome
 // bit, and pos_hist field.
@@ -559,4 +642,5 @@ func (p *Predictor) Storage() sim.Breakdown {
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

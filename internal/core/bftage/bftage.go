@@ -127,22 +127,24 @@ type table struct {
 }
 
 type checkpoint struct {
-	pc         uint64
-	idx        []uint32
-	tag        []uint32
-	provider   int
-	alt        int
-	newlyAlloc bool
-	basePred   bool
-	baseIdx    uint32
-	provPred   bool
-	altPred    bool
-	tagePred   bool
-	scSum      int32
-	scIdx      uint32
-	loopPred   bool
-	loopValid  bool
-	finalPred  bool
+	pc          uint64
+	idx         []uint32
+	tag         []uint32
+	provider    int
+	alt         int
+	newlyAlloc  bool
+	basePred    bool
+	baseIdx     uint32
+	provPred    bool
+	altPred     bool
+	tagePred    bool
+	scSum       int32
+	scIdx       uint32
+	scApplied   bool
+	loopPred    bool
+	loopValid   bool
+	loopApplied bool
+	finalPred   bool
 }
 
 // Predictor is the BF-TAGE predictor.
@@ -255,6 +257,32 @@ func (p *Predictor) NumTables() int { return len(p.tables) }
 // GHRBits returns the BF-GHR width in bits.
 func (p *Predictor) GHRBits() int { return p.cfg.UnfilteredBits + p.seg.Bits() }
 
+// BankReach returns, per tagged table, the raw-branch depth the table's
+// compressed history can observe. A table consuming L BF-GHR bits sees
+// the UnfilteredBits most recent branches directly; every further bit
+// is a recency-stack slot, and a slot in segment i can hold a branch as
+// deep as SegBounds[i+1]. Conventional tables reach exactly HistLen raw
+// branches, so equal-length BF tables reach much deeper — the paper's
+// equal-storage structural advantage.
+func (p *Predictor) BankReach() []int {
+	out := make([]int, len(p.tables))
+	for i, t := range p.tables {
+		out[i] = p.reach(t.cfg.HistLen)
+	}
+	return out
+}
+
+func (p *Predictor) reach(histLen int) int {
+	if histLen <= p.cfg.UnfilteredBits {
+		return histLen
+	}
+	seg := (histLen - p.cfg.UnfilteredBits + p.cfg.SegSize - 1) / p.cfg.SegSize
+	if seg >= len(p.cfg.SegBounds) {
+		seg = len(p.cfg.SegBounds) - 1
+	}
+	return p.cfg.SegBounds[seg]
+}
+
 // buildGHR composes the BF-GHR bit vector (outcomes) and the parallel
 // address-bit vector: recent unfiltered bits first, then each segment's
 // stack slots in increasing depth (Fig. 7).
@@ -354,6 +382,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 			isWeak(p.tables[cp.provider].entries[cp.idx[cp.provider]].ctr)
 		if weak && cp.scSum <= -8 {
 			cp.finalPred = !cp.tagePred
+			cp.scApplied = true
 		}
 	}
 
@@ -372,6 +401,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 		cp.loopPred, cp.loopValid = lp, lv
 		if lv && p.withLoop >= 0 {
 			cp.finalPred = lp
+			cp.loopApplied = true
 		}
 	}
 
@@ -549,6 +579,68 @@ func (p *Predictor) ResetTableHits() {
 // Classifier exposes the BST.
 func (p *Predictor) Classifier() bst.Classifier { return p.class }
 
+// lastPending returns the newest in-flight checkpoint for pc, if any.
+func (p *Predictor) lastPending(pc uint64) (checkpoint, bool) {
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			return p.pending[j], true
+		}
+	}
+	return checkpoint{}, false
+}
+
+// Explain implements sim.Explainer: TAGE provenance (provider/alt bank,
+// counter, useful bit) plus the branch's BST classification, so
+// attribution reports can relate bank utilisation to bias filtering.
+// BF-TAGE never predicts *from* the filter — the BST only gates history
+// insertion — so FilterDecision stays false.
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	cp, ok := p.lastPending(pc)
+	if !ok {
+		cp = p.lookup(pc)
+		cp.finalPred = cp.tagePred
+	}
+	prov := sim.Provenance{
+		Predictor:      p.Name(),
+		Prediction:     cp.finalPred,
+		Banks:          len(p.tables),
+		Provider:       cp.provider,
+		Alt:            cp.alt,
+		ProviderPred:   cp.provPred,
+		AltPred:        cp.altPred,
+		NewlyAllocated: cp.newlyAlloc,
+		BiasState:      p.class.Lookup(pc).String(),
+	}
+	if cp.provider >= 0 {
+		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
+		prov.ProviderCtr = e.ctr
+		prov.ProviderUseful = e.u
+	}
+	switch {
+	case cp.loopApplied:
+		prov.Component = "loop"
+		// The loop predictor only overrides at full confidence.
+		prov.Confidence = 7
+	case cp.scApplied:
+		prov.Component = "sc"
+		prov.Confidence = abs32(2*cp.scSum + 1)
+	case cp.provider >= 0:
+		prov.Component = "tagged"
+		prov.Confidence = abs32(2*int32(prov.ProviderCtr) + 1)
+	default:
+		prov.Component = "base"
+		prov.Confidence = 1
+	}
+	return prov
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Storage implements sim.StorageAccounter, mirroring the paper's Table I.
 func (p *Predictor) Storage() sim.Breakdown {
 	b := sim.Breakdown{Name: p.Name()}
@@ -583,4 +675,5 @@ var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.TableHitReporter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

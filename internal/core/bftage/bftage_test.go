@@ -263,3 +263,22 @@ func TestValidation(t *testing.T) {
 		}()
 	}
 }
+
+// The reach mapping behind the paper-shape check: a bank consuming L
+// compressed bits sees the 16 unfiltered branches directly, then one
+// recency-stack segment per further 8 bits, reaching that segment's
+// upper depth bound. The deepest paper bank (142 bits) reaches 2048 raw
+// branches — conventional TAGE would need 1930 history bits for that.
+func TestBankReachMapping(t *testing.T) {
+	p := New(ConventionalBare(8))
+	want := []int{3, 5, 9, 16, 48, 80, 320, 2048}
+	got := p.BankReach()
+	if len(got) != len(want) {
+		t.Fatalf("BankReach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BankReach = %v, want %v", got, want)
+		}
+	}
+}

@@ -128,6 +128,29 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n samples of the same value in one bucket scan —
+// the bulk form used to replay pre-bucketed counts (e.g. a run's
+// confidence-margin distribution) into a histogram without n Observe
+// calls.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

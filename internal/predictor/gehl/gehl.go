@@ -196,6 +196,44 @@ func (p *Predictor) adaptTheta(mispred bool, mag int32) {
 // Theta exposes the adaptive threshold (for tests).
 func (p *Predictor) Theta() int32 { return p.theta }
 
+// explainTopWeights is the number of contributions Explain reports.
+const explainTopWeights = 8
+
+// Explain implements sim.Explainer: the adder-tree sum against theta,
+// with one signed 2w+1 contribution per table (Position is the table
+// index; table 0 is the PC-only bias table).
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	var cp checkpoint
+	found := false
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			cp = p.pending[j]
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp = checkpoint{pc: pc, sum: p.compute(pc)}
+		cp.idxs = append(cp.idxs, p.idxBuf...)
+	}
+	ws := make([]sim.WeightContrib, 0, len(cp.idxs))
+	for i, idx := range cp.idxs {
+		ws = append(ws, sim.WeightContrib{Position: i, Weight: 2*int32(p.tables[i][idx]) + 1})
+	}
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	return sim.Provenance{
+		Predictor:  p.Name(),
+		Component:  "adder",
+		Prediction: cp.sum >= 0,
+		Confidence: mag,
+		Threshold:  p.theta,
+		TopWeights: sim.TopWeightContribs(ws, explainTopWeights),
+	}
+}
+
 // Storage implements sim.StorageAccounter.
 func (p *Predictor) Storage() sim.Breakdown {
 	return sim.Breakdown{
@@ -211,4 +249,5 @@ func (p *Predictor) Storage() sim.Breakdown {
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

@@ -287,6 +287,57 @@ func satUpdate(w int8, up bool) int8 {
 // HistoryLength returns the total history positions tracked.
 func (p *Predictor) HistoryLength() int { return p.hlen }
 
+// explainTopWeights is the number of contributions Explain reports.
+const explainTopWeights = 8
+
+// Explain implements sim.Explainer: the scaled adder-tree sum against
+// theta, with the largest signed scaled contributions (position 0 is the
+// bias weight, position i the i-th most recent branch; each contribution
+// is the coefficient-scaled weight the sum actually used).
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	var cp checkpoint
+	found := false
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			cp = p.pending[j]
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp = checkpoint{pc: pc, sum: p.compute(pc)}
+		cp.idxs = append(cp.idxs, p.idxBuf...)
+		cp.dirs = append(cp.dirs, p.dirBuf...)
+	}
+	ws := make([]sim.WeightContrib, 0, len(cp.idxs)+1)
+	ws = append(ws, sim.WeightContrib{
+		Position: 0,
+		Weight:   int32(p.bias[(pc>>2)&p.biasMask]) * coeffInit >> coeffShift,
+	})
+	for i, idx := range cp.idxs {
+		if idx < 0 {
+			continue
+		}
+		contrib := int32(p.weights[idx]) * p.coeff[i] >> coeffShift
+		if !cp.dirs[i] {
+			contrib = -contrib
+		}
+		ws = append(ws, sim.WeightContrib{Position: i + 1, Weight: contrib})
+	}
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	return sim.Provenance{
+		Predictor:  p.Name(),
+		Component:  "adder",
+		Prediction: cp.sum >= 0,
+		Confidence: mag,
+		Threshold:  p.theta,
+		TopWeights: sim.TopWeightContribs(ws, explainTopWeights),
+	}
+}
+
 // Coefficient exposes a position's scaling coefficient (for tests).
 func (p *Predictor) Coefficient(i int) int32 { return p.coeff[i] }
 
@@ -306,4 +357,5 @@ func (p *Predictor) Storage() sim.Breakdown {
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

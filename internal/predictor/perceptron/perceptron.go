@@ -294,6 +294,57 @@ func satUpdate(w int8, up bool) int8 {
 // Theta exposes the current training threshold (for tests).
 func (p *Predictor) Theta() int32 { return p.theta }
 
+// explainTopWeights is the number of contributions Explain reports.
+const explainTopWeights = 8
+
+// Explain implements sim.Explainer: the perceptron sum against the
+// current training threshold, plus the largest-magnitude signed weight
+// contributions (position 0 is the bias weight, position i the i-th most
+// recent branch).
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	var cp checkpoint
+	found := false
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			cp = p.pending[j]
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp.pc = pc
+		cp.sum = p.compute(pc)
+		cp.rows = append(cp.rows, p.rowBuf...)
+		cp.dirs = append(cp.dirs, p.dirBuf...)
+	}
+	h := p.cfg.HistoryLength
+	ws := make([]sim.WeightContrib, 0, h+1)
+	ws = append(ws, sim.WeightContrib{Position: 0, Weight: int32(p.bias[(pc>>2)&p.biasMask])})
+	for i := 0; i < h && i < len(cp.rows); i++ {
+		row := cp.rows[i]
+		if row == 0xFFFFFFFF {
+			continue
+		}
+		w := int32(p.weights[int(row)*h+i])
+		if !cp.dirs[i] {
+			w = -w
+		}
+		ws = append(ws, sim.WeightContrib{Position: i + 1, Weight: w})
+	}
+	mag := cp.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	return sim.Provenance{
+		Predictor:  p.Name(),
+		Component:  "perceptron",
+		Prediction: cp.sum >= 0,
+		Confidence: mag,
+		Threshold:  p.theta,
+		TopWeights: sim.TopWeightContribs(ws, explainTopWeights),
+	}
+}
+
 // Storage implements sim.StorageAccounter.
 func (p *Predictor) Storage() sim.Breakdown {
 	comps := []sim.Component{
@@ -313,4 +364,5 @@ func (p *Predictor) Storage() sim.Breakdown {
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

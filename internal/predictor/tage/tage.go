@@ -32,24 +32,25 @@ type table struct {
 // checkpoint captures everything Predict computed so Update trains exactly
 // that state (correct under delayed update).
 type checkpoint struct {
-	pc         uint64
-	idx        []uint32
-	tag        []uint32
-	provider   int // -1 = base
-	alt        int // -1 = base
-	providerOK bool
-	newlyAlloc bool
-	basePred   bool
-	baseIdx    uint32
-	provPred   bool
-	altPred    bool
-	tagePred   bool // after alt-on-NA selection
-	scSum      int32
-	scIdx      uint32
-	scApplied  bool
-	loopPred   bool
-	loopValid  bool
-	finalPred  bool
+	pc          uint64
+	idx         []uint32
+	tag         []uint32
+	provider    int // -1 = base
+	alt         int // -1 = base
+	providerOK  bool
+	newlyAlloc  bool
+	basePred    bool
+	baseIdx     uint32
+	provPred    bool
+	altPred     bool
+	tagePred    bool // after alt-on-NA selection
+	scSum       int32
+	scIdx       uint32
+	scApplied   bool
+	loopPred    bool
+	loopValid   bool
+	loopApplied bool
+	finalPred   bool
 }
 
 // Predictor is a TAGE / ISL-TAGE predictor.
@@ -158,6 +159,10 @@ func (p *Predictor) Name() string {
 
 // NumTables returns the tagged table count.
 func (p *Predictor) NumTables() int { return len(p.tables) }
+
+// BankReach returns, per tagged table, the raw-branch depth the table
+// observes — for a conventional GHR this is simply the history length.
+func (p *Predictor) BankReach() []int { return p.Histories() }
 
 // Histories returns the per-table history lengths.
 func (p *Predictor) Histories() []int {
@@ -296,6 +301,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 		cp.loopPred, cp.loopValid = lp, lv
 		if lv && p.withLoop >= 0 {
 			cp.finalPred = lp
+			cp.loopApplied = true
 		}
 	}
 
@@ -459,6 +465,67 @@ func minInt(a, b int) int {
 	return b
 }
 
+// lastPending returns the newest in-flight checkpoint for pc, if any —
+// the prediction Explain should describe under delayed update.
+func (p *Predictor) lastPending(pc uint64) (checkpoint, bool) {
+	for j := len(p.pending) - 1; j >= 0; j-- {
+		if p.pending[j].pc == pc {
+			return p.pending[j], true
+		}
+	}
+	return checkpoint{}, false
+}
+
+// Explain implements sim.Explainer: it reports the provenance of the
+// newest in-flight prediction for pc (or of a fresh side-effect-free
+// lookup when none is pending) — provider/alt banks, the provider
+// entry's counter and useful bit, and which component had the last word.
+func (p *Predictor) Explain(pc uint64) sim.Provenance {
+	cp, ok := p.lastPending(pc)
+	if !ok {
+		cp = p.lookup(pc)
+		cp.finalPred = cp.tagePred
+	}
+	prov := sim.Provenance{
+		Predictor:      p.Name(),
+		Prediction:     cp.finalPred,
+		Banks:          len(p.tables),
+		Provider:       cp.provider,
+		Alt:            cp.alt,
+		ProviderPred:   cp.provPred,
+		AltPred:        cp.altPred,
+		NewlyAllocated: cp.newlyAlloc,
+	}
+	if cp.provider >= 0 {
+		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
+		prov.ProviderCtr = e.ctr
+		prov.ProviderUseful = e.u
+	}
+	switch {
+	case cp.loopApplied:
+		prov.Component = "loop"
+		// The loop predictor only overrides at full confidence.
+		prov.Confidence = 7
+	case cp.scApplied:
+		prov.Component = "sc"
+		prov.Confidence = abs32(2*cp.scSum + 1)
+	case cp.provider >= 0:
+		prov.Component = "tagged"
+		prov.Confidence = abs32(2*int32(prov.ProviderCtr) + 1)
+	default:
+		prov.Component = "base"
+		prov.Confidence = 1
+	}
+	return prov
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // TableHits implements sim.TableHitReporter: index 0 counts base-provided
 // predictions, index i the i-th tagged table.
 func (p *Predictor) TableHits() []uint64 {
@@ -521,4 +588,5 @@ var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.TableHitReporter = (*Predictor)(nil)
+	_ sim.Explainer        = (*Predictor)(nil)
 )

@@ -278,3 +278,19 @@ func TestValidation(t *testing.T) {
 		}()
 	}
 }
+
+// A conventional GHR bank reaches exactly as many raw branches as its
+// history length — the baseline side of the paper-shape reach check.
+func TestBankReachIsHistoryLength(t *testing.T) {
+	p := New(ConventionalBare(8))
+	reach := p.BankReach()
+	hists := p.Histories()
+	if len(reach) != len(hists) {
+		t.Fatalf("reach %v vs histories %v", reach, hists)
+	}
+	for i := range hists {
+		if reach[i] != hists[i] {
+			t.Fatalf("reach %v vs histories %v", reach, hists)
+		}
+	}
+}

@@ -48,6 +48,9 @@ type jsonResult struct {
 	Accuracy     float64      `json:"accuracy"`
 	Window       uint64       `json:"window,omitempty"`
 	Windows      []jsonWindow `json:"windows,omitempty"`
+	// Provenance appears only for explained runs, so suite output stays
+	// byte-identical to the golden files with -explain off.
+	Provenance *ProvenanceStats `json:"provenance,omitempty"`
 }
 
 type jsonReport struct {
@@ -69,6 +72,7 @@ func WriteJSON(w io.Writer, results []RunResult) error {
 			MPKI:         r.Stats.MPKI(),
 			Accuracy:     r.Stats.Accuracy(),
 			Window:       r.Stats.Window,
+			Provenance:   r.Stats.Provenance,
 		}
 		for _, win := range r.Stats.Windows {
 			jr.Windows = append(jr.Windows, jsonWindow{

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The journal event schema lives in three places: the Emit call sites,
+// JournalEventKinds(), and the DESIGN.md schema table. This guard fails
+// when any of them drifts from the others.
+func TestJournalKindsMatchDocs(t *testing.T) {
+	published := map[string]bool{}
+	for _, k := range JournalEventKinds() {
+		if published[k] {
+			t.Fatalf("JournalEventKinds lists %q twice", k)
+		}
+		published[k] = true
+	}
+
+	// Every kind passed to Emit in this package must be published, and
+	// every published kind must have a producing call site.
+	emitted := map[string]bool{}
+	re := regexp.MustCompile(`\.Emit\("([a-z_]+)"`)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+			emitted[m[1]] = true
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("found no Emit call sites — regexp or layout drifted")
+	}
+	for k := range emitted {
+		if !published[k] {
+			t.Errorf("Emit call site uses kind %q missing from JournalEventKinds()", k)
+		}
+	}
+	for k := range published {
+		if !emitted[k] {
+			t.Errorf("JournalEventKinds lists %q but no Emit call site produces it", k)
+		}
+	}
+
+	// Every published kind must appear backticked in DESIGN.md.
+	doc, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range published {
+		if !strings.Contains(string(doc), "`"+k+"`") {
+			t.Errorf("DESIGN.md schema table missing `%s`", k)
+		}
+	}
+}

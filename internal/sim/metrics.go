@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type EngineMetrics struct {
 	branchRate  *obs.Histogram
 	predictLat  *obs.Histogram
 	updateLat   *obs.Histogram
+	// Provenance families, populated only by explained runs
+	// (Options.Explain + an Explainer predictor).
+	mispredictCauses *obs.CounterFamily
+	confMargin       *obs.HistogramFamily
 
 	// SampleEvery is the harness probe period in branches (rounded up
 	// to a power of two; 0 means 64). Predict/update latencies are
@@ -63,6 +68,11 @@ func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
 			"sampled Predict latency", latencyBuckets()),
 		updateLat: reg.Histogram("bfbp_harness_update_seconds",
 			"sampled Update latency", latencyBuckets()),
+		mispredictCauses: reg.CounterFamily("bfbp_mispredict_total",
+			"explained mispredictions by taxonomy cause", "predictor", "cause"),
+		confMargin: reg.HistogramFamily("bfbp_confidence_margin",
+			"sampled confidence minus threshold of explained predictions",
+			MarginBounds(), "predictor"),
 	}
 	m.runsOK = m.runs.With("ok")
 	m.runsFailed = m.runs.With("error")
@@ -120,6 +130,24 @@ func (m *EngineMetrics) runFinish(predictor string, st Stats, elapsed time.Durat
 	m.runSeconds.With(predictor).Observe(elapsed.Seconds())
 	if s := elapsed.Seconds(); s > 0 {
 		m.branchRate.Observe(float64(st.Branches) / s)
+	}
+	if pv := st.Provenance; pv != nil {
+		for cause, n := range pv.Causes {
+			m.mispredictCauses.With(predictor, cause).Add(n)
+		}
+		// Replay the run's margin buckets into the family histogram.
+		// Bounds are shared (MarginBounds), so observing each bucket's
+		// upper bound lands the count in the matching bucket; the
+		// overflow bucket replays just past the last bound.
+		h := m.confMargin.With(predictor)
+		bounds := MarginBounds()
+		for i, n := range pv.MarginCounts {
+			if i < len(bounds) {
+				h.ObserveN(bounds[i], n)
+			} else {
+				h.ObserveN(bounds[len(bounds)-1]+1, n)
+			}
+		}
 	}
 }
 
@@ -252,6 +280,41 @@ type journalWorkerState struct {
 	State  string `json:"state"`
 }
 
+type journalProvenance struct {
+	Trace         string            `json:"trace"`
+	Predictor     string            `json:"predictor"`
+	Explained     uint64            `json:"explained"`
+	Causes        map[string]uint64 `json:"causes"`
+	MarginSamples uint64            `json:"margin_samples"`
+	MarginCounts  []uint64          `json:"margin_counts"`
+}
+
+type journalComponentEntry struct {
+	Name        string `json:"name"`
+	Predictions uint64 `json:"predictions"`
+	Mispredicts uint64 `json:"mispredicts"`
+}
+
+type journalComponentAttribution struct {
+	Trace      string                  `json:"trace"`
+	Predictor  string                  `json:"predictor"`
+	Components []journalComponentEntry `json:"components"`
+	BankHits   []uint64                `json:"bank_hits,omitempty"`
+	BankMisses []uint64                `json:"bank_misses,omitempty"`
+}
+
+// JournalEventKinds lists every bfbp.journal.v1 event kind the engine
+// and harness can emit. The doc-drift test asserts this set matches
+// both the Emit call sites and the DESIGN.md schema table.
+func JournalEventKinds() []string {
+	return []string{
+		"suite_start", "suite_finish",
+		"run_start", "run_finish", "run_error",
+		"window", "table_hits", "storage", "worker_state",
+		"provenance", "component_attribution",
+	}
+}
+
 // journalRun emits the per-run event group for one completed cell:
 // run_finish, one window event per WindowStat, the provider-table
 // histogram for TAGE-class predictors, and (once per predictor name per
@@ -287,6 +350,34 @@ func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map
 			Instructions: w.Instructions,
 			MPKI:         w.MPKI(),
 		})
+	}
+	if pv := st.Provenance; pv != nil {
+		j.Emit("provenance", journalProvenance{
+			Trace:         res.Trace,
+			Predictor:     res.Predictor,
+			Explained:     pv.Explained,
+			Causes:        pv.Causes,
+			MarginSamples: pv.MarginSamples,
+			MarginCounts:  pv.MarginCounts,
+		})
+		attr := journalComponentAttribution{
+			Trace:      res.Trace,
+			Predictor:  res.Predictor,
+			BankHits:   pv.BankHits,
+			BankMisses: pv.BankMisses,
+		}
+		names := make([]string, 0, len(pv.Components))
+		for name := range pv.Components {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cs := pv.Components[name]
+			attr.Components = append(attr.Components, journalComponentEntry{
+				Name: name, Predictions: cs.Predictions, Mispredicts: cs.Mispredicts,
+			})
+		}
+		j.Emit("component_attribution", attr)
 	}
 	if th, ok := res.Instance.(TableHitReporter); ok {
 		j.Emit("table_hits", journalTableHits{Trace: res.Trace, Predictor: res.Predictor, Hits: th.TableHits()})

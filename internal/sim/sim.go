@@ -96,7 +96,10 @@ type Stats struct {
 	// window. Lin & Tarsa argue predictor claims need exactly this
 	// time-resolved view rather than a single end-of-run number.
 	Windows []WindowStat
-	perPC   map[uint64]*pcStat
+	// Provenance holds the decision trace collected when Options.Explain
+	// is set and the predictor implements Explainer; nil otherwise.
+	Provenance *ProvenanceStats
+	perPC      map[uint64]*pcStat
 }
 
 // WindowStat is one fixed-branch-window slice of a run.
@@ -213,6 +216,12 @@ func (s *Stats) Merge(other Stats) {
 	if s.Window == 0 {
 		s.Window = other.Window
 	}
+	if other.Provenance != nil {
+		if s.Provenance == nil {
+			s.Provenance = NewProvenanceStats()
+		}
+		s.Provenance.merge(other.Provenance)
+	}
 	if sWindowed && !oWindowed && other.Branches > 0 {
 		s.Windows = append(s.Windows, WindowStat{
 			Branches:     other.Branches,
@@ -244,6 +253,19 @@ type Options struct {
 	// automatically when Engine.Metrics is set; a nil Probe runs the
 	// uninstrumented hot path.
 	Probe *HarnessProbe
+	// Explain enables the decision-trace recorder: when the predictor
+	// implements Explainer, every post-warmup prediction is attributed to
+	// its supplying component (and provider bank, for TAGE-class
+	// predictors) and every misprediction is classified into the cause
+	// taxonomy, collected into Stats.Provenance. Predictors without an
+	// Explain method run unchanged. Off (the default) leaves the hot path
+	// and all results byte-identical.
+	Explain bool
+	// ExplainEvery throttles the confidence-margin sampling of an
+	// explained run: one margin sample per ExplainEvery branches, rounded
+	// up to a power of two (0 means every 64). Attribution and taxonomy
+	// always cover every post-warmup branch; only margins are sampled.
+	ExplainEvery uint64
 }
 
 type pending struct {
@@ -274,6 +296,13 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 	var probeMask uint64
 	if probe != nil {
 		probeMask = probe.sampleMask()
+	}
+	var dt *decisionTrace
+	if opt.Explain {
+		if ex, ok := p.(Explainer); ok {
+			dt = newDecisionTrace(ex, opt.ExplainEvery)
+			stats.Provenance = dt.pv
+		}
 	}
 	var queue []pending
 	var win WindowStat
@@ -310,6 +339,12 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 			if miss {
 				stats.Mispredicts++
 			}
+			// Provenance is read here, after Predict and before Update,
+			// so Explain always sees the in-flight prediction it is
+			// attributing.
+			if dt != nil {
+				dt.record(rec.PC, miss, stats.Branches)
+			}
 			if opt.Window > 0 {
 				win.Branches++
 				win.Instructions += uint64(rec.Instret)
@@ -332,6 +367,11 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 					st.mispreds++
 				}
 			}
+		} else if dt != nil {
+			// Warmup occurrences still advance the per-site counts so
+			// cold-site classification reflects what the predictor has
+			// actually trained on.
+			dt.warm(rec.PC)
 		}
 		u := pending{rec.PC, rec.Taken, rec.Target}
 		if opt.UpdateDelay > 0 {

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"bfbp/internal/sim"
 	"bfbp/internal/workload"
@@ -114,6 +116,37 @@ func TestStartServesMetricsAndJournal(t *testing.T) {
 			t.Fatalf("journal missing %s events (got %v)", want, events)
 		}
 	}
+}
+
+// Closing telemetry before the first heartbeat tick must reap the
+// ticker goroutine: Close blocks on the stopped channel, so a leak
+// shows up either as a hang here or as surviving goroutines.
+func TestHeartbeatStopsOnEarlyClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		tel, err := Start(Config{Heartbeat: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent: a deferred second Close must not panic or hang.
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("heartbeat goroutines leaked: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
 }
 
 func TestStartBadAddrFailsFast(t *testing.T) {
