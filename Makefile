@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-quick microbench
 
 all: check
 
@@ -21,11 +21,20 @@ race:
 
 check: build vet race
 
-# Benchmarks for the root package plus the harness/engine telemetry
-# overhead benchmarks; output is saved to bench.txt for comparison
-# across changes (e.g. with benchstat). CI runs a compile-and-run smoke
-# pass with BENCHTIME=1x; leave the default for meaningful numbers.
+# End-to-end throughput benchmark: a fixed predictor x trace matrix run
+# by cmd/bench, written to the next free BENCH_<n>.json. Commit the JSON
+# alongside optimisation PRs so before/after numbers live in the tree.
+# `make bench-quick` is the CI smoke variant: 1/5 the branches, one run,
+# compared against the committed BENCH_0.json baseline with a generous
+# tolerance so it only fails on order-of-magnitude regressions.
+bench:
+	$(GO) run ./cmd/bench
+
+bench-quick:
+	$(GO) run ./cmd/bench -quick -out bench_ci.json -baseline BENCH_0.json -tolerance 2
+
+# Go microbenchmarks (root package + engine/telemetry overhead).
 BENCHTIME ?= 1s
 
-bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) . ./internal/sim | tee bench.txt
+microbench:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) . ./internal/sim

@@ -1,0 +1,286 @@
+// Command bench measures simulation throughput over a fixed
+// predictor × trace matrix and records the result as a machine-readable
+// JSON document (schema bfbp.bench.v1), so the repository carries its
+// own performance trajectory: BENCH_0.json is the pre-overhaul
+// baseline, and every later BENCH_<n>.json is one measured point after
+// a hot-path change.
+//
+// Unlike `go test -bench`, cells run the real suite path — a streaming
+// generator-backed trace source driven through sim.Run — so the numbers
+// include trace synthesis, batching, and harness overhead, which is
+// what bounds real sweep iteration time.
+//
+// Usage:
+//
+//	bench                          # full matrix, write next BENCH_<n>.json
+//	bench -quick                   # CI-scale smoke run
+//	bench -out BENCH_local.json    # explicit output path
+//	bench -baseline BENCH_0.json -tolerance 2   # regression gate
+//	bench -preds bf-neural -traces SPEC03 -n 1000000
+//	bench -cpuprofile cpu.pprof    # profile the measured runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"bfbp"
+	"bfbp/internal/prof"
+	"bfbp/internal/sim"
+)
+
+// Fixed matrix: the two headline predictors whose throughput the
+// overhaul targets, plus a cheap baseline and a conventional TAGE so
+// harness regressions are visible even when predictor math dominates.
+const (
+	defaultPreds  = "bimodal,gshare,isl-tage-15,bf-neural,bf-tage-10"
+	defaultTraces = "SPEC03,SPEC07,INT2,MM2,SERV1"
+)
+
+// Cell is one measured (predictor, trace) point.
+type Cell struct {
+	Predictor      string  `json:"predictor"`
+	Trace          string  `json:"trace"`
+	Branches       uint64  `json:"branches"`
+	BestNS         int64   `json:"best_ns"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+	NSPerBranch    float64 `json:"ns_per_branch"`
+	MPKI           float64 `json:"mpki"`
+}
+
+// Row aggregates a predictor's cells across the trace matrix.
+type Row struct {
+	Predictor      string  `json:"predictor"`
+	Branches       uint64  `json:"branches"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+	NSPerBranch    float64 `json:"ns_per_branch"`
+}
+
+// Report is the bfbp.bench.v1 document.
+type Report struct {
+	Schema     string `json:"schema"`
+	Created    string `json:"created"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Branches   int    `json:"branches_per_trace"`
+	Runs       int    `json:"runs"`
+	Cells      []Cell `json:"cells"`
+	Rows       []Row  `json:"rows"`
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "CI-scale run: fewer branches, one measured run per cell")
+		branches  = flag.Int("n", 300_000, "dynamic branches per trace (quick: /5)")
+		runs      = flag.Int("runs", 3, "measured runs per cell; the fastest is recorded (quick: 1)")
+		preds     = flag.String("preds", defaultPreds, "comma-separated registry predictor names")
+		traces    = flag.String("traces", defaultTraces, "comma-separated trace names")
+		out       = flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+		baseline  = flag.String("baseline", "", "compare against this bfbp.bench.v1 file")
+		tolerance = flag.Float64("tolerance", 2.0, "fail when a row is this factor slower than the baseline")
+	)
+	prof.Flags(flag.CommandLine)
+	flag.Parse()
+
+	if *quick {
+		*branches /= 5
+		*runs = 1
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	var specs []bfbp.PredictorInfo
+	for _, name := range strings.Split(*preds, ",") {
+		info, err := bfbp.PredictorByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, info)
+	}
+	var sources []bfbp.TraceSource
+	for _, name := range strings.Split(*traces, ",") {
+		spec, ok := bfbp.TraceByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown trace %q", name))
+		}
+		sources = append(sources, spec.Source(*branches))
+	}
+
+	stop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+
+	rep := Report{
+		Schema:     "bfbp.bench.v1",
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Branches:   *branches,
+		Runs:       *runs,
+	}
+	opt := sim.Options{Warmup: uint64(*branches / 10)}
+	rowAgg := map[string]*Row{}
+	for _, src := range sources {
+		for _, info := range specs {
+			cell, err := measure(info, src, opt, *runs)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			r := rowAgg[info.Name]
+			if r == nil {
+				r = &Row{Predictor: info.Name}
+				rowAgg[info.Name] = r
+			}
+			r.Branches += cell.Branches
+			r.ElapsedNS += cell.BestNS
+			fmt.Fprintf(os.Stderr, "%-12s %-12s %10.0f branches/s  %7.1f ns/branch  (MPKI %.3f)\n",
+				src.Name(), info.Name, cell.BranchesPerSec, cell.NSPerBranch, cell.MPKI)
+		}
+	}
+	for _, info := range specs {
+		r := rowAgg[info.Name]
+		if r.ElapsedNS > 0 {
+			r.BranchesPerSec = float64(r.Branches) / (float64(r.ElapsedNS) / 1e9)
+			r.NSPerBranch = float64(r.ElapsedNS) / float64(r.Branches)
+		}
+		rep.Rows = append(rep.Rows, *r)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextBenchPath()
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if *baseline != "" {
+		if err := compare(*baseline, rep, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// measure times `runs` full simulations of one matrix cell — a fresh
+// predictor over a fresh streaming reader each time — and keeps the
+// fastest, the standard best-of-N discipline for wall-clock benchmarks.
+func measure(info bfbp.PredictorInfo, src bfbp.TraceSource, opt sim.Options, runs int) (Cell, error) {
+	cell := Cell{Predictor: info.Name, Trace: src.Name()}
+	for i := 0; i < runs; i++ {
+		p := info.New()
+		start := time.Now()
+		st, err := sim.Run(p, src.Open(), opt)
+		elapsed := time.Since(start)
+		if err != nil {
+			return cell, fmt.Errorf("bench: %s on %s: %w", info.Name, src.Name(), err)
+		}
+		if cell.BestNS == 0 || elapsed.Nanoseconds() < cell.BestNS {
+			cell.BestNS = elapsed.Nanoseconds()
+			cell.Branches = st.Branches
+			cell.MPKI = st.MPKI()
+		}
+	}
+	if cell.BestNS > 0 {
+		cell.BranchesPerSec = float64(cell.Branches) / (float64(cell.BestNS) / 1e9)
+		cell.NSPerBranch = float64(cell.BestNS) / float64(cell.Branches)
+	}
+	return cell, nil
+}
+
+// nextBenchPath returns BENCH_<n>.json for the smallest n not yet taken,
+// so successive runs extend the trajectory without clobbering history.
+func nextBenchPath() string {
+	taken := map[int]bool{}
+	matches, _ := filepath.Glob("BENCH_*.json")
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil {
+			taken[n] = true
+		}
+	}
+	n := 0
+	for taken[n] {
+		n++
+	}
+	return fmt.Sprintf("BENCH_%d.json", n)
+}
+
+// compare gates on per-predictor aggregate throughput: the run fails
+// when any row shared with the baseline is more than `tolerance` times
+// slower. The tolerance is deliberately generous — baselines are
+// recorded on developer machines and checked on CI runners — so only
+// genuine hot-path regressions trip it.
+func compare(path string, cur Report, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", path, err)
+	}
+	if base.Schema != "bfbp.bench.v1" {
+		return fmt.Errorf("bench: baseline %s has schema %q, want bfbp.bench.v1", path, base.Schema)
+	}
+	baseRows := map[string]Row{}
+	for _, r := range base.Rows {
+		baseRows[r.Predictor] = r
+	}
+	names := make([]string, 0, len(cur.Rows))
+	for _, r := range cur.Rows {
+		names = append(names, r.Predictor)
+	}
+	sort.Strings(names)
+	curRows := map[string]Row{}
+	for _, r := range cur.Rows {
+		curRows[r.Predictor] = r
+	}
+	var failures []string
+	fmt.Fprintf(os.Stderr, "baseline %s (%s, %s):\n", path, base.Created, base.GoVersion)
+	for _, name := range names {
+		b, ok := baseRows[name]
+		if !ok || b.BranchesPerSec <= 0 {
+			continue
+		}
+		c := curRows[name]
+		ratio := c.BranchesPerSec / b.BranchesPerSec
+		fmt.Fprintf(os.Stderr, "  %-14s %10.0f -> %10.0f branches/s  (%.2fx)\n",
+			name, b.BranchesPerSec, c.BranchesPerSec, ratio)
+		if c.BranchesPerSec*tolerance < b.BranchesPerSec {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx of baseline (tolerance %.2gx)",
+				name, ratio, tolerance))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: throughput regression vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

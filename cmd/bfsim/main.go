@@ -25,6 +25,10 @@
 //	bfsim ... -journal run.jsonl                 # bfbp.journal.v1 event log
 //	bfsim ... -heartbeat 10s                     # periodic stderr progress line
 //
+// Run-to-completion profiles land in files for `go tool pprof`:
+//
+//	bfsim ... -cpuprofile cpu.pprof -memprofile mem.pprof
+//
 // Predictor names come from the bfbp registry (use -list for the full
 // set with descriptions); -t accepts trace names, comma lists, or "all"
 // for the 40-trace suite.
@@ -40,6 +44,7 @@ import (
 
 	"bfbp"
 	"bfbp/internal/analysis"
+	"bfbp/internal/prof"
 	"bfbp/internal/telemetry"
 	"bfbp/internal/trace"
 )
@@ -67,6 +72,7 @@ func main() {
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 	)
+	prof.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -115,6 +121,12 @@ func main() {
 		fatal(err)
 	}
 	defer tel.Close()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	eng := bfbp.Engine{
 		Workers: *workers,

@@ -35,6 +35,7 @@ import (
 
 	"bfbp"
 	"bfbp/internal/experiments"
+	"bfbp/internal/prof"
 	"bfbp/internal/sim"
 	"bfbp/internal/telemetry"
 )
@@ -60,7 +61,14 @@ func main() {
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 	)
+	prof.Flags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cfg := experiments.Config{
 		LongBranches:  *long,

@@ -60,19 +60,24 @@ type checkpoint struct {
 
 // Predictor is a BF-GEHL predictor.
 type Predictor struct {
-	cfg     Config
-	tables  [][]int8
-	mask    uint64
-	hists   []int
-	class   bst.Classifier
-	seg     *rs.Segmented
-	wMax    int8
-	wMin    int8
-	theta   int32
-	tc      int32
-	pending []checkpoint
-	idxBuf  []uint32
-	bitsBuf []bool
+	cfg    Config
+	tables [][]int8
+	mask   uint64
+	hists  []int
+	class  bst.Classifier
+	seg    *rs.Segmented
+	wMax   int8
+	wMin   int8
+	theta  int32
+	tc     int32
+	// pending is an in-order FIFO: live entries are pending[pendStart:],
+	// compacted lazily; cpFree recycles retired checkpoints' idx slices.
+	pending   []checkpoint
+	pendStart int
+	cpFree    []checkpoint
+	idxBuf    []uint32
+	ghrVec    history.BitVec
+	pcsVec    history.BitVec // parallel address bits; built but unused
 }
 
 // New returns a BF-GEHL predictor for cfg.
@@ -88,6 +93,9 @@ func New(cfg Config) *Predictor {
 	}
 	if cfg.BSTEntries <= 0 || cfg.BSTEntries&(cfg.BSTEntries-1) != 0 {
 		panic("bfgehl: BSTEntries must be a positive power of two")
+	}
+	if cfg.UnfilteredBits < 0 || cfg.UnfilteredBits > 64 {
+		panic("bfgehl: UnfilteredBits out of range")
 	}
 	p := &Predictor{
 		cfg:   cfg,
@@ -127,15 +135,33 @@ func (p *Predictor) Name() string {
 // GHRBits returns the BF-GHR width.
 func (p *Predictor) GHRBits() int { return p.cfg.UnfilteredBits + p.seg.Bits() }
 
-func (p *Predictor) buildGHR() []bool {
-	p.bitsBuf = p.bitsBuf[:0]
-	ring := p.seg.Ring()
-	for d := 1; d <= p.cfg.UnfilteredBits; d++ {
-		e, ok := ring.At(d)
-		p.bitsBuf = append(p.bitsBuf, ok && e.Taken)
+// buildGHR assembles the packed BF-GHR: the unfiltered prefix is one
+// masked word off the ring, each segment contributes one packed word.
+func (p *Predictor) buildGHR() {
+	p.ghrVec.Reset()
+	p.pcsVec.Reset()
+	p.ghrVec.Append(p.seg.Ring().RecentTaken(p.cfg.UnfilteredBits), p.cfg.UnfilteredBits)
+	p.seg.AppendPacked(&p.ghrVec, &p.pcsVec)
+}
+
+// newCheckpoint builds a checkpoint, reusing a retired one's idx slice.
+func (p *Predictor) newCheckpoint(pc uint64, sum int32) checkpoint {
+	cp := checkpoint{pc: pc, sum: sum}
+	if k := len(p.cpFree); k > 0 {
+		cp.idxs = p.cpFree[k-1].idxs[:0]
+		p.cpFree = p.cpFree[:k-1]
 	}
-	p.bitsBuf = p.seg.AppendBFGHR(p.bitsBuf)
-	return p.bitsBuf
+	cp.idxs = append(cp.idxs, p.idxBuf...)
+	return cp
+}
+
+// putCheckpoint retires a checkpoint, recycling its idx slice.
+func (p *Predictor) putCheckpoint(cp *checkpoint) {
+	if cp.idxs == nil {
+		return
+	}
+	p.cpFree = append(p.cpFree, checkpoint{idxs: cp.idxs})
+	cp.idxs = nil
 }
 
 func (p *Predictor) compute(pc uint64) int32 {
@@ -143,7 +169,8 @@ func (p *Predictor) compute(pc uint64) int32 {
 		p.idxBuf = make([]uint32, len(p.tables))
 	}
 	p.idxBuf = p.idxBuf[:len(p.tables)]
-	bits := p.buildGHR()
+	p.buildGHR()
+	bits := p.ghrVec.Words()
 	pch := rng.Hash64(pc >> 2)
 	var sum int32
 	for i := range p.tables {
@@ -151,7 +178,7 @@ func (p *Predictor) compute(pc uint64) int32 {
 		if i == 0 {
 			key = pch
 		} else {
-			key = pch ^ history.FoldBits(bits[:p.hists[i]], p.cfg.LogEntries)<<3 ^ uint64(i)<<57
+			key = pch ^ history.FoldWords(bits, p.hists[i], p.cfg.LogEntries)<<3 ^ uint64(i)<<57
 		}
 		idx := uint32(rng.Hash64(key) & p.mask)
 		p.idxBuf[i] = idx
@@ -163,8 +190,13 @@ func (p *Predictor) compute(pc uint64) int32 {
 // Predict implements sim.Predictor.
 func (p *Predictor) Predict(pc uint64) bool {
 	sum := p.compute(pc)
-	cp := checkpoint{pc: pc, sum: sum}
-	cp.idxs = append(cp.idxs, p.idxBuf...)
+	cp := p.newCheckpoint(pc, sum)
+	// Compact the FIFO's popped prefix before append would grow it.
+	if len(p.pending) == cap(p.pending) && p.pendStart > 0 {
+		n := copy(p.pending, p.pending[p.pendStart:])
+		p.pending = p.pending[:n]
+		p.pendStart = 0
+	}
 	p.pending = append(p.pending, cp)
 	return sum >= 0
 }
@@ -172,12 +204,15 @@ func (p *Predictor) Predict(pc uint64) bool {
 // Update implements sim.Predictor.
 func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	var cp checkpoint
-	if len(p.pending) > 0 && p.pending[0].pc == pc {
-		cp = p.pending[0]
-		p.pending = p.pending[1:]
+	if p.pendStart < len(p.pending) && p.pending[p.pendStart].pc == pc {
+		cp = p.pending[p.pendStart]
+		p.pendStart++
+		if p.pendStart == len(p.pending) {
+			p.pending = p.pending[:0]
+			p.pendStart = 0
+		}
 	} else {
-		cp = checkpoint{pc: pc, sum: p.compute(pc)}
-		cp.idxs = append(cp.idxs, p.idxBuf...)
+		cp = p.newCheckpoint(pc, p.compute(pc))
 	}
 	pred := cp.sum >= 0
 	mag := cp.sum
@@ -204,6 +239,7 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 		Taken:     taken,
 		NonBiased: p.class.Lookup(pc) == bst.NonBiased,
 	})
+	p.putCheckpoint(&cp)
 }
 
 func (p *Predictor) adaptTheta(mispred bool, mag int32) {
@@ -234,7 +270,7 @@ const explainTopWeights = 8
 func (p *Predictor) Explain(pc uint64) sim.Provenance {
 	var cp checkpoint
 	found := false
-	for j := len(p.pending) - 1; j >= 0; j-- {
+	for j := len(p.pending) - 1; j >= p.pendStart; j-- {
 		if p.pending[j].pc == pc {
 			cp = p.pending[j]
 			found = true
@@ -242,8 +278,9 @@ func (p *Predictor) Explain(pc uint64) sim.Provenance {
 		}
 	}
 	if !found {
-		cp = checkpoint{pc: pc, sum: p.compute(pc)}
-		cp.idxs = append(cp.idxs, p.idxBuf...)
+		cp = p.newCheckpoint(pc, p.compute(pc))
+		// Not in flight: retire the scratch checkpoint on exit.
+		defer p.putCheckpoint(&cp)
 	}
 	ws := make([]sim.WeightContrib, 0, len(cp.idxs))
 	for i, idx := range cp.idxs {

@@ -24,6 +24,7 @@ import (
 	"bfbp/internal/history"
 	"bfbp/internal/looppred"
 	"bfbp/internal/rng"
+	"bfbp/internal/rs"
 	"bfbp/internal/sim"
 )
 
@@ -173,18 +174,24 @@ type Predictor struct {
 	folds *history.FoldSet // unfiltered outcome history + folds
 	seq   uint64           // global committed-branch counter
 
-	// Filtered history: ModeFull keeps a recency stack (unique PCs),
-	// ModeBiasFreeGHR a shift register with duplicates. Both store
-	// newest-first in filt.
-	filt []fentry
+	// Filtered history: ModeFull keeps a recency stack (unique PCs,
+	// O(1) hit/push via rs.Stack); ModeBiasFreeGHR a shift register with
+	// duplicates, newest-first in filt.
+	rstack *rs.Stack
+	filt   []fentry
 
 	loop     *looppred.Predictor
 	withLoop int32
 
-	theta   int32
-	tc      int32
-	pending []checkpoint
-	distCap uint64
+	theta int32
+	tc    int32
+	// pending is an in-order FIFO: live entries are pending[pendStart:],
+	// compacted lazily so steady state never reallocates. cpFree recycles
+	// retired checkpoints' index slices.
+	pending   []checkpoint
+	pendStart int
+	cpFree    []checkpoint
+	distCap   uint64
 }
 
 // New returns a BF-Neural predictor for cfg.
@@ -232,10 +239,41 @@ func New(cfg Config) *Predictor {
 		p.class = bst.NewTable(cfg.BSTEntries)
 	}
 	p.folds = history.NewFoldSet(foldLengths(), cfg.FoldWidth, 4096)
+	if cfg.Mode == ModeFull && cfg.RSDepth > 0 {
+		p.rstack = rs.NewStack(cfg.RSDepth, cfg.DistBits)
+	}
 	if cfg.LoopPredictor {
 		p.loop = looppred.NewDefault()
 	}
 	return p
+}
+
+// newCheckpoint builds a checkpoint, reusing a retired one's slices.
+func (p *Predictor) newCheckpoint(pc uint64, state bst.State) checkpoint {
+	cp := checkpoint{pc: pc, state: state}
+	if k := len(p.cpFree); k > 0 {
+		f := p.cpFree[k-1]
+		p.cpFree = p.cpFree[:k-1]
+		cp.wmRows = f.wmRows[:0]
+		cp.wmDirs = f.wmDirs[:0]
+		cp.wrsIdxs = f.wrsIdxs[:0]
+		cp.wrsDirs = f.wrsDirs[:0]
+	}
+	return cp
+}
+
+// putCheckpoint retires a checkpoint, recycling its slices.
+func (p *Predictor) putCheckpoint(cp *checkpoint) {
+	if cp.wmRows == nil && cp.wrsIdxs == nil {
+		return
+	}
+	p.cpFree = append(p.cpFree, checkpoint{
+		wmRows:  cp.wmRows,
+		wmDirs:  cp.wmDirs,
+		wrsIdxs: cp.wrsIdxs,
+		wrsDirs: cp.wrsDirs,
+	})
+	cp.wmRows, cp.wmDirs, cp.wrsIdxs, cp.wrsDirs = nil, nil, nil, nil
 }
 
 // foldLengths is the fixed bank of folded-history registers: dense for
@@ -312,24 +350,40 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 	// Recency-stack component (Wrs).
 	cp.wrsIdxs = cp.wrsIdxs[:0]
 	cp.wrsDirs = cp.wrsDirs[:0]
+	if p.rstack != nil {
+		// §IV-B2: hash(pc, A, pos_hist, folded history up to the
+		// entry) — no relative depth, so previously detected
+		// non-biased branches never relearn when depths shift. The
+		// stack's Dist is already saturated at distCap.
+		for it := p.rstack.Iter(); ; {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			q := quantDist(e.Dist)
+			key := pch ^ e.PC*0x9e3779b97f4a7c15 ^ q<<28 ^ p.folds.Fold(int(e.Dist))<<9
+			idx := int32(rng.Hash64(key) & p.wrsMask)
+			cp.wrsIdxs = append(cp.wrsIdxs, idx)
+			cp.wrsDirs = append(cp.wrsDirs, e.Taken)
+			w := int32(p.wrs[idx])
+			if e.Taken {
+				accum += w
+			} else {
+				accum -= w
+			}
+		}
+		cp.accum = accum
+		return
+	}
 	for j := range p.filt {
 		e := &p.filt[j]
 		dist := p.seq - e.seq
 		if dist > p.distCap {
 			dist = p.distCap
 		}
-		var key uint64
-		if p.cfg.Mode == ModeFull {
-			// §IV-B2: hash(pc, A, pos_hist, folded history up to the
-			// entry) — no relative depth, so previously detected
-			// non-biased branches never relearn when depths shift.
-			q := quantDist(dist)
-			key = pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ q<<28 ^ p.folds.Fold(int(dist))<<9
-		} else {
-			// Idealized/ghist variant: relative depth selects the
-			// context (Algorithm 1 style).
-			key = pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ uint64(j)<<28 ^ p.folds.Fold(int(dist))<<9
-		}
+		// Idealized/ghist variant: relative depth selects the context
+		// (Algorithm 1 style).
+		key := pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ uint64(j)<<28 ^ p.folds.Fold(int(dist))<<9
 		idx := int32(rng.Hash64(key) & p.wrsMask)
 		cp.wrsIdxs = append(cp.wrsIdxs, idx)
 		cp.wrsDirs = append(cp.wrsDirs, e.taken)
@@ -345,7 +399,7 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 
 // Predict implements sim.Predictor (Algorithm 2).
 func (p *Predictor) Predict(pc uint64) bool {
-	cp := checkpoint{pc: pc, state: p.class.Lookup(pc)}
+	cp := p.newCheckpoint(pc, p.class.Lookup(pc))
 	switch cp.state {
 	case bst.NotFound:
 		cp.pred = p.cfg.NotFoundPrediction
@@ -366,6 +420,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 			cp.loopApplied = true
 		}
 	}
+	// Compact the FIFO's popped prefix before append would grow it.
+	if len(p.pending) == cap(p.pending) && p.pendStart > 0 {
+		n := copy(p.pending, p.pending[p.pendStart:])
+		p.pending = p.pending[:n]
+		p.pendStart = 0
+	}
 	p.pending = append(p.pending, cp)
 	return cp.final
 }
@@ -373,11 +433,15 @@ func (p *Predictor) Predict(pc uint64) bool {
 // Update implements sim.Predictor (Algorithm 3).
 func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	var cp checkpoint
-	if len(p.pending) > 0 && p.pending[0].pc == pc {
-		cp = p.pending[0]
-		p.pending = p.pending[1:]
+	if p.pendStart < len(p.pending) && p.pending[p.pendStart].pc == pc {
+		cp = p.pending[p.pendStart]
+		p.pendStart++
+		if p.pendStart == len(p.pending) {
+			p.pending = p.pending[:0]
+			p.pendStart = 0
+		}
 	} else {
-		cp = checkpoint{pc: pc, state: p.class.Lookup(pc)}
+		cp = p.newCheckpoint(pc, p.class.Lookup(pc))
 		if cp.state == bst.NonBiased {
 			p.compute(pc, &cp)
 			cp.pred = cp.accum >= 0
@@ -418,34 +482,32 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	// History management: the filtered structure tracks non-biased
 	// branches only; the unfiltered history tracks everything.
 	p.seq++
+	if p.rstack != nil {
+		p.rstack.Tick()
+	}
 	if p.class.Lookup(pc) == bst.NonBiased {
 		p.pushFiltered(pc, taken)
 	}
 	p.folds.Push(history.Entry{HashedPC: uint32(rng.Hash64(pc >> 2)), Taken: taken})
+	p.putCheckpoint(&cp)
 }
 
 func (p *Predictor) pushFiltered(pc uint64, taken bool) {
-	hpc := uint32(rng.Hash64(pc>>2) & 0x3FFF) // 14-bit hashed address
-	e := fentry{hpc: hpc, taken: taken, seq: p.seq}
 	if p.cfg.RSDepth == 0 {
 		return
 	}
-	if p.cfg.Mode == ModeFull {
-		// Recency stack: move-to-front on hit (Fig. 3).
-		for j := range p.filt {
-			if p.filt[j].hpc == hpc {
-				copy(p.filt[1:j+1], p.filt[:j])
-				p.filt[0] = e
-				return
-			}
-		}
+	hpc := uint32(rng.Hash64(pc>>2) & 0x3FFF) // 14-bit hashed address
+	if p.rstack != nil {
+		// Recency stack: move-to-front on hit (Fig. 3), O(1).
+		p.rstack.Push(uint64(hpc), taken)
+		return
 	}
 	// Shift in; drop the deepest when full.
 	if len(p.filt) < p.cfg.RSDepth {
 		p.filt = append(p.filt, fentry{})
 	}
 	copy(p.filt[1:], p.filt[:len(p.filt)-1])
-	p.filt[0] = e
+	p.filt[0] = fentry{hpc: hpc, taken: taken, seq: p.seq}
 }
 
 func (p *Predictor) trainWeights(cp *checkpoint, taken bool) {
@@ -537,7 +599,12 @@ func (p *Predictor) Classifier() bst.Classifier { return p.class }
 func (p *Predictor) Theta() int32 { return p.theta }
 
 // FilteredLen exposes the live filtered-history length (for tests).
-func (p *Predictor) FilteredLen() int { return len(p.filt) }
+func (p *Predictor) FilteredLen() int {
+	if p.rstack != nil {
+		return p.rstack.Len()
+	}
+	return len(p.filt)
+}
 
 // explainTopWeights is the number of contributions Explain reports.
 const explainTopWeights = 8
@@ -551,7 +618,7 @@ const explainTopWeights = 8
 func (p *Predictor) Explain(pc uint64) sim.Provenance {
 	var cp checkpoint
 	found := false
-	for j := len(p.pending) - 1; j >= 0; j-- {
+	for j := len(p.pending) - 1; j >= p.pendStart; j-- {
 		if p.pending[j].pc == pc {
 			cp = p.pending[j]
 			found = true
@@ -559,7 +626,10 @@ func (p *Predictor) Explain(pc uint64) sim.Provenance {
 		}
 	}
 	if !found {
-		cp = checkpoint{pc: pc, state: p.class.Lookup(pc)}
+		cp = p.newCheckpoint(pc, p.class.Lookup(pc))
+		// Not in flight: retire the scratch checkpoint on exit (prov only
+		// copies values out of it).
+		defer p.putCheckpoint(&cp)
 		switch cp.state {
 		case bst.NotFound:
 			cp.pred = p.cfg.NotFoundPrediction

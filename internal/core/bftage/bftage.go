@@ -170,11 +170,20 @@ type Predictor struct {
 	sc     []int8
 	scMask uint64
 
+	// pending is an in-order FIFO of in-flight checkpoints: live entries
+	// are pending[pendStart:]; popped slots are compacted away lazily so
+	// steady-state operation never reallocates.
 	pending      []checkpoint
+	pendStart    int
 	providerHits []uint64
 
-	bitsBuf []bool
-	pcsBuf  []bool
+	// ghrVec / pcsVec hold the packed BF-GHR (outcome bits) and the
+	// parallel address-bit vector, rebuilt per lookup without allocating.
+	ghrVec history.BitVec
+	pcsVec history.BitVec
+	// slicePool recycles checkpoint idx/tag slices once their branch
+	// commits, so Predict stops hitting growslice on every branch.
+	slicePool [][]uint32
 }
 
 // New returns a BF-TAGE predictor for cfg.
@@ -285,41 +294,60 @@ func (p *Predictor) reach(histLen int) int {
 
 // buildGHR composes the BF-GHR bit vector (outcomes) and the parallel
 // address-bit vector: recent unfiltered bits first, then each segment's
-// stack slots in increasing depth (Fig. 7).
-func (p *Predictor) buildGHR() ([]bool, []bool) {
-	p.bitsBuf = p.bitsBuf[:0]
-	p.pcsBuf = p.pcsBuf[:0]
+// stack slots in increasing depth (Fig. 7). Both are packed BitVecs —
+// the unfiltered prefix is one masked word off the ring's shift
+// registers and each segment contributes one pre-packed word, so the
+// build is O(segments) instead of O(GHR bits).
+func (p *Predictor) buildGHR() {
+	p.ghrVec.Reset()
+	p.pcsVec.Reset()
 	ring := p.seg.Ring()
-	for d := 1; d <= p.cfg.UnfilteredBits; d++ {
-		e, ok := ring.At(d)
-		p.bitsBuf = append(p.bitsBuf, ok && e.Taken)
-		p.pcsBuf = append(p.pcsBuf, ok && e.HashedPC&1 != 0)
+	p.ghrVec.Append(ring.RecentTaken(p.cfg.UnfilteredBits), p.cfg.UnfilteredBits)
+	p.pcsVec.Append(ring.RecentPC(p.cfg.UnfilteredBits), p.cfg.UnfilteredBits)
+	p.seg.AppendPacked(&p.ghrVec, &p.pcsVec)
+}
+
+// getSlices pulls a recycled idx/tag slice pair for a checkpoint.
+func (p *Predictor) getSlices(n int) (idx, tag []uint32) {
+	if k := len(p.slicePool); k >= 2 {
+		idx = p.slicePool[k-1][:n]
+		tag = p.slicePool[k-2][:n]
+		p.slicePool = p.slicePool[:k-2]
+		return idx, tag
 	}
-	p.bitsBuf = p.seg.AppendBFGHR(p.bitsBuf)
-	p.pcsBuf = p.seg.AppendBFPCs(p.pcsBuf)
-	return p.bitsBuf, p.pcsBuf
+	return make([]uint32, n), make([]uint32, n)
+}
+
+// putSlices returns a retired checkpoint's slices to the pool.
+func (p *Predictor) putSlices(cp *checkpoint) {
+	if cp.idx != nil {
+		p.slicePool = append(p.slicePool, cp.idx, cp.tag)
+		cp.idx, cp.tag = nil, nil
+	}
 }
 
 func (p *Predictor) lookup(pc uint64) checkpoint {
 	n := len(p.tables)
+	idx, tag := p.getSlices(n)
 	cp := checkpoint{
 		pc:       pc,
-		idx:      make([]uint32, n),
-		tag:      make([]uint32, n),
+		idx:      idx,
+		tag:      tag,
 		provider: -1,
 		alt:      -1,
 	}
-	bits, pcs := p.buildGHR()
+	p.buildGHR()
+	bits, pcs := p.ghrVec.Words(), p.pcsVec.Words()
 	pch := rng.Hash64(pc >> 2)
 	path := p.path.Value()
 	for i, t := range p.tables {
 		l := t.cfg.HistLen
-		fIdx := history.FoldBits(bits[:l], t.cfg.LogEntries)
-		fPC := history.FoldBits(pcs[:l], maxInt(t.cfg.LogEntries-1, 1))
+		fIdx := history.FoldWords(bits, l, t.cfg.LogEntries)
+		fPC := history.FoldWords(pcs, l, maxInt(t.cfg.LogEntries-1, 1))
 		key := pch ^ fIdx ^ fPC<<1 ^ path<<20 ^ uint64(i)<<56
 		cp.idx[i] = uint32(rng.Hash64(key) & t.mask)
-		fT0 := history.FoldBits(bits[:l], t.cfg.TagBits)
-		fT1 := history.FoldBits(bits[:l], maxInt(t.cfg.TagBits-1, 1))
+		fT0 := history.FoldWords(bits, l, t.cfg.TagBits)
+		fT1 := history.FoldWords(bits, l, maxInt(t.cfg.TagBits-1, 1))
 		cp.tag[i] = (uint32(pch>>8) ^ uint32(fT0) ^ uint32(fT1)<<1) & t.tagMask
 	}
 	cp.baseIdx = uint32((pc >> 2) & p.baseMask)
@@ -387,7 +415,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 	}
 
 	if p.cfg.IUM && cp.provider >= 0 {
-		for j := len(p.pending) - 1; j >= 0; j-- {
+		for j := len(p.pending) - 1; j >= p.pendStart; j-- {
 			q := &p.pending[j]
 			if q.provider == cp.provider && q.idx[q.provider] == cp.idx[cp.provider] {
 				cp.finalPred = q.finalPred
@@ -410,6 +438,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 	} else {
 		p.providerHits[0]++
 	}
+	// Compact the FIFO's popped prefix before append would grow it.
+	if len(p.pending) == cap(p.pending) && p.pendStart > 0 {
+		n := copy(p.pending, p.pending[p.pendStart:])
+		p.pending = p.pending[:n]
+		p.pendStart = 0
+	}
 	p.pending = append(p.pending, cp)
 	return cp.finalPred
 }
@@ -419,14 +453,19 @@ func isWeak(ctr int8) bool { return ctr == 0 || ctr == -1 }
 // Update implements sim.Predictor (§V-B4).
 func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	var cp checkpoint
-	if len(p.pending) > 0 && p.pending[0].pc == pc {
-		cp = p.pending[0]
-		p.pending = p.pending[1:]
+	if p.pendStart < len(p.pending) && p.pending[p.pendStart].pc == pc {
+		cp = p.pending[p.pendStart]
+		p.pendStart++
+		if p.pendStart == len(p.pending) {
+			p.pending = p.pending[:0]
+			p.pendStart = 0
+		}
 	} else {
 		cp = p.lookup(pc)
 		cp.finalPred = cp.tagePred
 	}
 	p.train(&cp, taken)
+	p.putSlices(&cp)
 
 	// History management: classify, then commit into the unfiltered ring
 	// and the segmented stacks with the branch's bias status (§V-B4: a
@@ -581,7 +620,7 @@ func (p *Predictor) Classifier() bst.Classifier { return p.class }
 
 // lastPending returns the newest in-flight checkpoint for pc, if any.
 func (p *Predictor) lastPending(pc uint64) (checkpoint, bool) {
-	for j := len(p.pending) - 1; j >= 0; j-- {
+	for j := len(p.pending) - 1; j >= p.pendStart; j-- {
 		if p.pending[j].pc == pc {
 			return p.pending[j], true
 		}
@@ -599,6 +638,9 @@ func (p *Predictor) Explain(pc uint64) sim.Provenance {
 	if !ok {
 		cp = p.lookup(pc)
 		cp.finalPred = cp.tagePred
+		// This checkpoint is not in flight, so its slices retire here
+		// (prov only copies scalars out of it below).
+		defer p.putSlices(&cp)
 	}
 	prov := sim.Provenance{
 		Predictor:      p.Name(),

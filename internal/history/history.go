@@ -25,11 +25,21 @@ type Entry struct {
 // branches, addressed by depth: depth 1 is the most recent branch, depth 2
 // the one before it, and so on. It is the software model of the paper's
 // GHRunfiltered structure.
+//
+// Alongside the entry buffer the ring maintains two packed shift words
+// over the 64 most recent branches — outcome bits and low address bits,
+// newest at bit 0 — so hot paths that consume a short recent-history
+// prefix (the BF-GHR's unfiltered head) read one masked word instead of
+// walking entries.
 type Ring struct {
 	buf  []Entry
 	mask int
 	head int // index of the most recent entry
 	size int
+	// recentTaken / recentPC pack the newest <= 64 entries: bit d-1 is
+	// the outcome / low hashed-address bit of the branch at depth d.
+	recentTaken uint64
+	recentPC    uint64
 }
 
 // NewRing returns a ring holding up to capacity entries; capacity must be
@@ -48,6 +58,32 @@ func (r *Ring) Push(e Entry) {
 	if r.size < len(r.buf) {
 		r.size++
 	}
+	r.recentTaken <<= 1
+	if e.Taken {
+		r.recentTaken |= 1
+	}
+	r.recentPC <<= 1
+	r.recentPC |= uint64(e.HashedPC & 1)
+}
+
+// RecentTaken returns the packed outcome bits of the n most recent
+// branches (bit i = depth i+1, newest at bit 0); depths that have not
+// been pushed yet read as zero. n must be in [0, 64].
+func (r *Ring) RecentTaken(n int) uint64 { return r.recentTaken & lowMask(n) }
+
+// RecentPC returns the packed low hashed-address bits of the n most
+// recent branches, with the same geometry as RecentTaken.
+func (r *Ring) RecentPC(n int) uint64 { return r.recentPC & lowMask(n) }
+
+// lowMask returns a mask of the low n bits, n in [0, 64].
+func lowMask(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
 }
 
 // At returns the entry at the given depth (1 = most recent). ok is false
@@ -136,8 +172,8 @@ func (f *Folded) OrigLen() int { return f.origLen }
 func (f *Folded) Reset() { f.comp = 0 }
 
 // FoldBits folds an explicit bit vector (index 0 = newest) down to width
-// bits using the same group-XOR definition as Folded. BF-TAGE uses it to
-// fold its non-shift-register BF-GHR on demand.
+// bits using the same group-XOR definition as Folded. It is the reference
+// implementation; hot paths use FoldWords over a packed BitVec instead.
 func FoldBits(bits []bool, width int) uint64 {
 	if width < 1 || width > 63 {
 		panic("history: fold width out of range")
@@ -147,6 +183,84 @@ func FoldBits(bits []bool, width int) uint64 {
 		if b {
 			v ^= 1 << (i % width)
 		}
+	}
+	return v
+}
+
+// BitVec is a packed append-only bit vector: bit i lives at
+// words[i/64] bit i%64, so index 0 (the newest history bit) is the low
+// bit of the first word — the same geometry FoldBits assumes. BF-TAGE
+// assembles its BF-GHR into one of these and folds it with FoldWords,
+// replacing the old []bool build + per-bit fold.
+type BitVec struct {
+	words []uint64
+	n     int
+}
+
+// Reset clears the vector, retaining capacity.
+func (v *BitVec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	v.n = 0
+}
+
+// Append adds the low n bits of w (bit 0 first) to the vector. n must be
+// in [0, 64].
+func (v *BitVec) Append(w uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	w &= lowMask(n)
+	wi, off := v.n>>6, uint(v.n&63)
+	for wi+2 > len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	v.words[wi] |= w << off
+	if off > 0 {
+		v.words[wi+1] |= w >> (64 - off)
+	}
+	v.n += n
+}
+
+// Len returns the number of appended bits.
+func (v *BitVec) Len() int { return v.n }
+
+// Words exposes the packed storage; bits beyond Len are zero.
+func (v *BitVec) Words() []uint64 { return v.words }
+
+// Bit returns bit i as a bool (for tests and reference comparisons).
+func (v *BitVec) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic("history: BitVec index out of range")
+	}
+	return v.words[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// FoldWords folds the first n bits of a packed vector down to width bits,
+// producing exactly FoldBits(bits[:n], width): the XOR of consecutive
+// width-bit chunks. Bits at positions >= n must be zero (BitVec
+// guarantees this). Each chunk costs a couple of shifts instead of a
+// per-bit loop, which is what removes the old fold from the BF-TAGE
+// profile.
+func FoldWords(words []uint64, n, width int) uint64 {
+	if width < 1 || width > 63 {
+		panic("history: fold width out of range")
+	}
+	var v uint64
+	for pos := 0; pos < n; pos += width {
+		wi, off := pos>>6, uint(pos&63)
+		chunk := words[wi] >> off
+		if off+uint(width) > 64 && wi+1 < len(words) {
+			chunk |= words[wi+1] << (64 - off)
+		}
+		rem := n - pos
+		if rem < width {
+			chunk &= lowMask(rem)
+		} else {
+			chunk &= lowMask(width)
+		}
+		v ^= chunk
 	}
 	return v
 }
@@ -162,6 +276,11 @@ type FoldSet struct {
 	ring    *Ring
 	lengths []int // ascending
 	folds   []*Folded
+	// byDist maps a distance to the index of the largest maintained
+	// length <= distance (-1 when below the smallest), so Fold is one
+	// table load instead of a scan over lengths. Distances beyond the
+	// ring capacity clamp to the deepest entry.
+	byDist []int8
 }
 
 // NewFoldSet builds a fold set over the given ascending lengths, all folded
@@ -178,10 +297,21 @@ func NewFoldSet(lengths []int, width, capacity int) *FoldSet {
 	if capacity < lengths[len(lengths)-1]+1 {
 		panic("history: fold set ring capacity too small")
 	}
+	if len(lengths) > 127 {
+		panic("history: fold set supports at most 127 lengths")
+	}
 	s := &FoldSet{ring: NewRing(capacity), lengths: lengths}
 	s.folds = make([]*Folded, len(lengths))
 	for i, l := range lengths {
 		s.folds[i] = NewFolded(l, width)
+	}
+	s.byDist = make([]int8, capacity+1)
+	idx := int8(-1)
+	for d := 0; d <= capacity; d++ {
+		for int(idx)+1 < len(lengths) && lengths[idx+1] <= d {
+			idx++
+		}
+		s.byDist[d] = idx
 	}
 	return s
 }
@@ -198,14 +328,13 @@ func (s *FoldSet) Push(e Entry) {
 // does not exceed distance; requesting a distance below the smallest
 // maintained length returns 0 (an empty fold).
 func (s *FoldSet) Fold(distance int) uint64 {
-	idx := -1
-	for i, l := range s.lengths {
-		if l <= distance {
-			idx = i
-		} else {
-			break
-		}
+	if distance < 0 {
+		return 0
 	}
+	if distance >= len(s.byDist) {
+		distance = len(s.byDist) - 1
+	}
+	idx := s.byDist[distance]
 	if idx < 0 {
 		return 0
 	}

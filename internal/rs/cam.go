@@ -1,0 +1,194 @@
+package rs
+
+// This file is the O(1) core shared by the monolithic recency stack and
+// the segmented stacks: a fixed buffer of entry slots threaded onto an
+// intrusive recency list, with an open-addressed hash index emulating
+// the hardware CAM match. The old implementation modelled the Fig. 3
+// shift register literally — an O(depth) associative scan plus an
+// O(depth) shift per push — which made every BF predictor lookup pay
+// for the stack depth; here a hit is one index probe plus a relink, a
+// push is one probe plus a tail reuse, and recency order is recovered
+// by walking the list. Semantics are bit-identical to the shift
+// register (asserted by the differential tests in this package).
+
+// camNil terminates slot links.
+const camNil = int32(-1)
+
+// cam is a content-addressed LRU buffer of at most depth entries.
+type cam struct {
+	pc    []uint64
+	taken []bool
+	seq   []uint64
+	prev  []int32 // toward more recent
+	next  []int32 // toward less recent
+	head  int32   // most recent live slot
+	tail  int32   // least recent live slot
+	free  int32   // freelist, linked through next
+	n     int
+
+	// Open-addressed index: pc -> slot, linear probing with
+	// backward-shift deletion. islot == camNil marks an empty cell.
+	ikey  []uint64
+	islot []int32
+	imask uint32
+}
+
+func newCam(depth int) cam {
+	icap := 8
+	for icap < depth*4 {
+		icap <<= 1
+	}
+	c := cam{
+		pc:    make([]uint64, depth),
+		taken: make([]bool, depth),
+		seq:   make([]uint64, depth),
+		prev:  make([]int32, depth),
+		next:  make([]int32, depth),
+		head:  camNil,
+		tail:  camNil,
+		ikey:  make([]uint64, icap),
+		islot: make([]int32, icap),
+		imask: uint32(icap - 1),
+	}
+	for i := range c.islot {
+		c.islot[i] = camNil
+	}
+	for i := range c.next {
+		c.next[i] = int32(i) + 1
+	}
+	c.next[depth-1] = camNil
+	c.free = 0
+	return c
+}
+
+// ihash spreads the pc over the index (Fibonacci hashing; the index is
+// at most 4x overprovisioned, so a multiplicative hash probes ~1 cell).
+func (c *cam) ihash(pc uint64) uint32 {
+	return uint32((pc*0x9E3779B97F4A7C15)>>32) & c.imask
+}
+
+// lookup returns the slot holding pc, or camNil.
+func (c *cam) lookup(pc uint64) int32 {
+	for i := c.ihash(pc); ; i = (i + 1) & c.imask {
+		s := c.islot[i]
+		if s == camNil {
+			return camNil
+		}
+		if c.ikey[i] == pc {
+			return s
+		}
+	}
+}
+
+// iput inserts pc -> slot; pc must not be present.
+func (c *cam) iput(pc uint64, slot int32) {
+	i := c.ihash(pc)
+	for c.islot[i] != camNil {
+		i = (i + 1) & c.imask
+	}
+	c.ikey[i] = pc
+	c.islot[i] = slot
+}
+
+// idel removes pc from the index using backward-shift deletion, which
+// keeps probe chains contiguous without tombstones.
+func (c *cam) idel(pc uint64) {
+	i := c.ihash(pc)
+	for c.ikey[i] != pc || c.islot[i] == camNil {
+		i = (i + 1) & c.imask
+	}
+	j := i
+	for {
+		j = (j + 1) & c.imask
+		if c.islot[j] == camNil {
+			break
+		}
+		h := c.ihash(c.ikey[j])
+		// j's entry may move into the vacated cell i only if its home
+		// position h lies outside the cyclic interval (i, j].
+		if (j-h)&c.imask >= (j-i)&c.imask {
+			c.ikey[i] = c.ikey[j]
+			c.islot[i] = c.islot[j]
+			i = j
+		}
+	}
+	c.islot[i] = camNil
+}
+
+// unlink removes slot s from the recency list (s must be live).
+func (c *cam) unlink(s int32) {
+	if c.prev[s] != camNil {
+		c.next[c.prev[s]] = c.next[s]
+	} else {
+		c.head = c.next[s]
+	}
+	if c.next[s] != camNil {
+		c.prev[c.next[s]] = c.prev[s]
+	} else {
+		c.tail = c.prev[s]
+	}
+}
+
+// linkFront makes slot s the most recent entry.
+func (c *cam) linkFront(s int32) {
+	c.prev[s] = camNil
+	c.next[s] = c.head
+	if c.head != camNil {
+		c.prev[c.head] = s
+	}
+	c.head = s
+	if c.tail == camNil {
+		c.tail = s
+	}
+}
+
+// push records the latest occurrence of pc: a hit refreshes the entry
+// in place and moves it to the front; a miss inserts at the front,
+// reusing the least recent slot when the buffer is full. These are
+// exactly the shift register's hit/insert/evict cases.
+func (c *cam) push(pc uint64, taken bool, seq uint64) {
+	if s := c.lookup(pc); s != camNil {
+		c.taken[s] = taken
+		c.seq[s] = seq
+		if c.head != s {
+			c.unlink(s)
+			c.linkFront(s)
+		}
+		return
+	}
+	var s int32
+	if c.n == len(c.pc) {
+		s = c.tail
+		c.idel(c.pc[s])
+		c.unlink(s)
+	} else {
+		s = c.free
+		c.free = c.next[s]
+		c.n++
+	}
+	c.pc[s] = pc
+	c.taken[s] = taken
+	c.seq[s] = seq
+	c.iput(pc, s)
+	c.linkFront(s)
+}
+
+// evictTail drops the least recent entry (n must be > 0).
+func (c *cam) evictTail() {
+	s := c.tail
+	c.idel(c.pc[s])
+	c.unlink(s)
+	c.next[s] = c.free
+	c.free = s
+	c.n--
+}
+
+// at returns the slot at recency position i (0 = most recent), walking
+// the list; hot paths iterate with head/next directly instead.
+func (c *cam) at(i int) int32 {
+	s := c.head
+	for ; i > 0; i-- {
+		s = c.next[s]
+	}
+	return s
+}

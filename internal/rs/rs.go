@@ -5,6 +5,12 @@
 // BF-TAGE (§V-B1, Fig. 7), which splits a long global history into
 // geometric, non-overlapping segments each served by a small associative
 // stack.
+//
+// Hardware performs the associative match with a CAM in one cycle; the
+// software model does the same with a hash index over a fixed slot
+// buffer threaded onto a recency list (see cam.go), so hit lookup and
+// push are O(1) instead of the O(depth) scan-and-shift of a literal
+// shift-register emulation.
 package rs
 
 // Entry is a recency-stack slot as exposed to predictors.
@@ -21,17 +27,14 @@ type Entry struct {
 
 // Stack is the monolithic recency stack. It tracks the latest occurrence
 // of each non-biased branch: a hit moves the entry to the top with a fresh
-// outcome and distance, a miss shifts like a conventional shift register,
-// dropping the deepest entry when full. The global sequence counter that
-// defines pos_hist advances once per committed branch of any kind (biased
-// branches occupy positions in the unfiltered history even though they are
-// filtered from the stack).
+// outcome and distance, a miss inserts at the top, dropping the deepest
+// entry when full. The global sequence counter that defines pos_hist
+// advances once per committed branch of any kind (biased branches occupy
+// positions in the unfiltered history even though they are filtered from
+// the stack).
 type Stack struct {
-	pcs   []uint64
-	taken []bool
-	seqs  []uint64
-	n     int
-	seq   uint64
+	c   cam
+	seq uint64
 	// maxDist caps reported distances, modelling the finite pos_hist
 	// field width of a hardware implementation.
 	maxDist uint64
@@ -47,9 +50,7 @@ func NewStack(depth, distBits int) *Stack {
 		panic("rs: distBits out of range")
 	}
 	return &Stack{
-		pcs:     make([]uint64, depth),
-		taken:   make([]bool, depth),
-		seqs:    make([]uint64, depth),
+		c:       newCam(depth),
 		maxDist: 1<<distBits - 1,
 	}
 }
@@ -62,58 +63,47 @@ func (s *Stack) Tick() { s.seq++ }
 // already present it is moved to the top (the Fig. 3 shift with clock-gated
 // downstream flip-flops); otherwise it is inserted at the top and the
 // deepest entry falls off when the stack is full.
-func (s *Stack) Push(pc uint64, taken bool) {
-	hit := -1
-	for i := 0; i < s.n; i++ {
-		if s.pcs[i] == pc {
-			hit = i
-			break
-		}
-	}
-	switch {
-	case hit >= 0:
-		// Shift [0,hit) down by one, reinsert at top.
-		copy(s.pcs[1:hit+1], s.pcs[:hit])
-		copy(s.taken[1:hit+1], s.taken[:hit])
-		copy(s.seqs[1:hit+1], s.seqs[:hit])
-	case s.n < len(s.pcs):
-		copy(s.pcs[1:s.n+1], s.pcs[:s.n])
-		copy(s.taken[1:s.n+1], s.taken[:s.n])
-		copy(s.seqs[1:s.n+1], s.seqs[:s.n])
-		s.n++
-	default:
-		copy(s.pcs[1:], s.pcs[:s.n-1])
-		copy(s.taken[1:], s.taken[:s.n-1])
-		copy(s.seqs[1:], s.seqs[:s.n-1])
-	}
-	s.pcs[0] = pc
-	s.taken[0] = taken
-	s.seqs[0] = s.seq
-}
+func (s *Stack) Push(pc uint64, taken bool) { s.c.push(pc, taken, s.seq) }
 
 // Len returns the number of live entries.
-func (s *Stack) Len() int { return s.n }
+func (s *Stack) Len() int { return s.c.n }
 
 // Depth returns the stack capacity.
-func (s *Stack) Depth() int { return len(s.pcs) }
+func (s *Stack) Depth() int { return len(s.c.pc) }
 
 // At returns the i-th entry from the top (i = 0 is the most recent),
-// with its current pos_hist distance.
+// with its current pos_hist distance. It walks the recency list; hot
+// paths iterate with Iter instead.
 func (s *Stack) At(i int) Entry {
-	if i < 0 || i >= s.n {
+	if i < 0 || i >= s.c.n {
 		panic("rs: At index out of range")
 	}
-	return Entry{PC: s.pcs[i], Taken: s.taken[i], Dist: s.dist(s.seqs[i])}
+	slot := s.c.at(i)
+	return Entry{PC: s.c.pc[slot], Taken: s.c.taken[slot], Dist: s.dist(s.c.seq[slot])}
 }
 
 // Contains reports whether pc currently has an entry.
-func (s *Stack) Contains(pc uint64) bool {
-	for i := 0; i < s.n; i++ {
-		if s.pcs[i] == pc {
-			return true
-		}
+func (s *Stack) Contains(pc uint64) bool { return s.c.lookup(pc) != camNil }
+
+// Iter returns a cursor over the stack in recency order (most recent
+// first). Iteration is O(1) per entry.
+func (s *Stack) Iter() Iter { return Iter{s: s, slot: s.c.head} }
+
+// Iter walks a Stack from the most recent entry downward.
+type Iter struct {
+	s    *Stack
+	slot int32
+}
+
+// Next returns the next entry, or ok=false at the end.
+func (it *Iter) Next() (Entry, bool) {
+	if it.slot == camNil {
+		return Entry{}, false
 	}
-	return false
+	c := &it.s.c
+	e := Entry{PC: c.pc[it.slot], Taken: c.taken[it.slot], Dist: it.s.dist(c.seq[it.slot])}
+	it.slot = c.next[it.slot]
+	return e, true
 }
 
 func (s *Stack) dist(entrySeq uint64) uint64 {
@@ -132,5 +122,5 @@ func (s *Stack) StorageBits() int {
 		distBits++
 	}
 	// 14-bit hashed PC + 1 outcome bit + pos_hist field.
-	return len(s.pcs) * (14 + 1 + distBits)
+	return len(s.c.pc) * (14 + 1 + distBits)
 }

@@ -12,6 +12,13 @@ import "bfbp/internal/history"
 // segment considers it. Associative searches are therefore localized to
 // one small stack per boundary crossing instead of one monolithic
 // structure, which is what makes the design implementable (§V-B1).
+//
+// Each segment is a cam (hash-indexed slot buffer, O(1) hit and push)
+// and additionally maintains its BF-GHR contribution — outcome bits and
+// low address bits of its slots in recency order — as packed words,
+// recomputed lazily after mutations. AppendPacked therefore assembles
+// the full BF-GHR with one word append per segment instead of a
+// per-slot walk on every prediction.
 type Segmented struct {
 	bounds  []int // ascending depths; segment i covers [bounds[i], bounds[i+1])
 	segSize int
@@ -21,10 +28,12 @@ type Segmented struct {
 }
 
 type segment struct {
-	pcs   []uint32
-	taken []bool
-	seqs  []uint64
-	n     int
+	c cam
+	// takenBits / pcBits pack the slots in recency order (bit j = slot
+	// j, empty slots zero); valid only when dirty is false.
+	takenBits uint64
+	pcBits    uint64
+	dirty     bool
 }
 
 // NewSegmented builds a segmented recency stack. bounds must be a strictly
@@ -43,8 +52,8 @@ func NewSegmented(bounds []int, segSize int) *Segmented {
 	if bounds[0] < 1 {
 		panic("rs: first segment boundary must be >= 1")
 	}
-	if segSize < 1 {
-		panic("rs: segment size must be >= 1")
+	if segSize < 1 || segSize > 64 {
+		panic("rs: segment size out of range [1,64]")
 	}
 	cap := 1
 	for cap < bounds[len(bounds)-1]+1 {
@@ -57,11 +66,7 @@ func NewSegmented(bounds []int, segSize int) *Segmented {
 		ring:    history.NewRing(cap),
 	}
 	for i := range s.segs {
-		s.segs[i] = segment{
-			pcs:   make([]uint32, segSize),
-			taken: make([]bool, segSize),
-			seqs:  make([]uint64, segSize),
-		}
+		s.segs[i] = segment{c: newCam(segSize)}
 	}
 	return s
 }
@@ -78,8 +83,9 @@ func (s *Segmented) Commit(e history.Entry) {
 		seg := &s.segs[i]
 		// Evict entries that fell past the segment's end. Entries are in
 		// recency order, so only the tail can expire.
-		for seg.n > 0 && s.seq-seg.seqs[seg.n-1] >= end {
-			seg.n--
+		for seg.c.n > 0 && s.seq-seg.c.seq[seg.c.tail] >= end {
+			seg.c.evictTail()
+			seg.dirty = true
 		}
 		// The branch that just reached depth `start` enters this segment.
 		if s.seq < start {
@@ -89,40 +95,26 @@ func (s *Segmented) Commit(e history.Entry) {
 		if !ok || !arriving.NonBiased {
 			continue
 		}
-		seg.insert(arriving.HashedPC, arriving.Taken, s.seq-start)
+		seg.c.push(uint64(arriving.HashedPC), arriving.Taken, s.seq-start)
+		seg.dirty = true
 	}
 }
 
-// insert places (pc, taken) at the top of the segment, evicting any
-// existing same-address entry; when full, the deepest entry is dropped
-// (the paper's correlation-redundancy argument, §V-B2, says losing the
-// overflow is acceptable).
-func (g *segment) insert(pc uint32, taken bool, seq uint64) {
-	hit := -1
-	for i := 0; i < g.n; i++ {
-		if g.pcs[i] == pc {
-			hit = i
-			break
+// repack rebuilds the segment's packed BF-GHR contribution from the
+// recency list (O(segSize), amortised over the predictions that read it).
+func (g *segment) repack() {
+	var taken, pcs uint64
+	var j uint
+	for s := g.c.head; s != camNil; s = g.c.next[s] {
+		if g.c.taken[s] {
+			taken |= 1 << j
 		}
+		pcs |= (g.c.pc[s] & 1) << j
+		j++
 	}
-	switch {
-	case hit >= 0:
-		copy(g.pcs[1:hit+1], g.pcs[:hit])
-		copy(g.taken[1:hit+1], g.taken[:hit])
-		copy(g.seqs[1:hit+1], g.seqs[:hit])
-	case g.n < len(g.pcs):
-		copy(g.pcs[1:g.n+1], g.pcs[:g.n])
-		copy(g.taken[1:g.n+1], g.taken[:g.n])
-		copy(g.seqs[1:g.n+1], g.seqs[:g.n])
-		g.n++
-	default:
-		copy(g.pcs[1:], g.pcs[:g.n-1])
-		copy(g.taken[1:], g.taken[:g.n-1])
-		copy(g.seqs[1:], g.seqs[:g.n-1])
-	}
-	g.pcs[0] = pc
-	g.taken[0] = taken
-	g.seqs[0] = seq
+	g.takenBits = taken
+	g.pcBits = pcs
+	g.dirty = false
 }
 
 // Segments returns the number of segments.
@@ -132,46 +124,68 @@ func (s *Segmented) Segments() int { return len(s.segs) }
 func (s *Segmented) SegSize() int { return s.segSize }
 
 // SegmentLen returns the live entry count of segment i.
-func (s *Segmented) SegmentLen(i int) int { return s.segs[i].n }
+func (s *Segmented) SegmentLen(i int) int { return s.segs[i].c.n }
 
 // SegmentEntry returns slot j of segment i (j = 0 most recent). Empty
 // slots return a zero Entry with ok=false; keeping the geometry fixed lets
 // BF-TAGE build a stable-width BF-GHR bit vector.
 func (s *Segmented) SegmentEntry(i, j int) (Entry, bool) {
 	seg := &s.segs[i]
-	if j < 0 || j >= seg.n {
+	if j < 0 || j >= seg.c.n {
 		return Entry{}, false
 	}
+	slot := seg.c.at(j)
 	return Entry{
-		PC:    uint64(seg.pcs[j]),
-		Taken: seg.taken[j],
-		Dist:  s.seq - seg.seqs[j],
+		PC:    seg.c.pc[slot],
+		Taken: seg.c.taken[slot],
+		Dist:  s.seq - seg.c.seq[slot],
 	}, true
+}
+
+// AppendPacked appends the segmented stacks' BF-GHR contribution to two
+// packed vectors — outcome bits to ghr, hashed-address low bits to pcs,
+// segSize bits per segment in increasing depth order, empty slots zero.
+// Together with the caller's recent unfiltered bits this forms the
+// paper's BF-GHR; BF-TAGE mixes the address bits into its index hash so
+// that entries with identical outcomes but different addresses produce
+// different contexts.
+func (s *Segmented) AppendPacked(ghr, pcs *history.BitVec) {
+	for i := range s.segs {
+		seg := &s.segs[i]
+		if seg.dirty {
+			seg.repack()
+		}
+		ghr.Append(seg.takenBits, s.segSize)
+		pcs.Append(seg.pcBits, s.segSize)
+	}
 }
 
 // AppendBFGHR appends the segmented stacks' outcome bits to dst in
 // increasing depth order — segment 0's slots first — with empty slots
-// contributing false. Together with the caller's recent unfiltered bits
-// this forms the paper's BF-GHR. dst is returned for append-style use.
+// contributing false. It is the []bool reference form of AppendPacked.
 func (s *Segmented) AppendBFGHR(dst []bool) []bool {
 	for i := range s.segs {
 		seg := &s.segs[i]
+		if seg.dirty {
+			seg.repack()
+		}
 		for j := 0; j < s.segSize; j++ {
-			dst = append(dst, j < seg.n && seg.taken[j])
+			dst = append(dst, seg.takenBits>>uint(j)&1 != 0)
 		}
 	}
 	return dst
 }
 
 // AppendBFPCs appends the segmented stacks' hashed-address low bits
-// (1 bit per slot) to dst, same geometry as AppendBFGHR. BF-TAGE mixes
-// these into the index hash so that entries with identical outcomes but
-// different addresses produce different contexts.
+// (1 bit per slot) to dst, same geometry as AppendBFGHR.
 func (s *Segmented) AppendBFPCs(dst []bool) []bool {
 	for i := range s.segs {
 		seg := &s.segs[i]
+		if seg.dirty {
+			seg.repack()
+		}
 		for j := 0; j < s.segSize; j++ {
-			dst = append(dst, j < seg.n && seg.pcs[j]&1 != 0)
+			dst = append(dst, seg.pcBits>>uint(j)&1 != 0)
 		}
 	}
 	return dst

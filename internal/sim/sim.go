@@ -279,14 +279,22 @@ func Run(p Predictor, r trace.Reader, opt Options) (Stats, error) {
 	return RunContext(context.Background(), p, r, opt)
 }
 
-// cancelCheckMask throttles context polling: cancellation is observed
-// every 4096 branches, so a cancelled run stops within microseconds
-// without a per-branch select on the hot path.
-const cancelCheckMask = 1<<12 - 1
+// runBatchSize is the record-batch granularity of the simulation loop:
+// trace decoding, EOF checks, and context polling are amortised over
+// batches of this many branches, so the per-branch path is just the
+// Predict/Update calls plus counter arithmetic.
+const runBatchSize = 4096
 
 // RunContext drives p over the trace like Run, but aborts with the
-// context's error as soon as ctx is cancelled (checked every few
-// thousand branches). The stats accumulated so far accompany the error.
+// context's error as soon as ctx is cancelled (checked every batch, i.e.
+// at most a few thousand branches). The stats accumulated so far
+// accompany the error.
+//
+// The trace is consumed through trace.BatchReader when r implements it
+// (every reader in internal/trace and internal/workload does); other
+// readers are adapted transparently. Steady-state operation performs no
+// allocations: the batch buffer is reused across reads and the delayed-
+// update queue is a fixed ring.
 func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (Stats, error) {
 	stats := Stats{Window: opt.Window}
 	if opt.PerPC {
@@ -304,93 +312,109 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 			stats.Provenance = dt.pv
 		}
 	}
-	var queue []pending
+	// Delayed updates sit in a fixed-capacity ring: enqueue at
+	// (head+len) mod cap, dequeue at head. Capacity UpdateDelay+1 covers
+	// the transient enqueue-then-dequeue overlap.
+	var (
+		dq     []pending
+		dqHead int
+		dqLen  int
+	)
+	if opt.UpdateDelay > 0 {
+		dq = make([]pending, opt.UpdateDelay+1)
+	}
+	br := trace.Batched(r)
+	batch := make([]trace.Record, runBatchSize)
 	var win WindowStat
 	for {
-		if stats.Branches&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return stats, err
-			}
+		if err := ctx.Err(); err != nil {
+			return stats, err
 		}
-		rec, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
+		n, err := br.ReadBatch(batch)
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
 			return stats, fmt.Errorf("sim: trace read: %w", err)
 		}
-		// Sampled latency probe: time every probeMask+1'th branch so
-		// instrumentation costs two clock reads per period, not per
-		// branch. The nil-probe path is a single predictable test.
-		sample := probe != nil && stats.Branches&probeMask == 0
-		var pred bool
-		if sample {
-			t0 := time.Now()
-			pred = p.Predict(rec.PC)
-			probe.Predict.Observe(time.Since(t0).Seconds())
-		} else {
-			pred = p.Predict(rec.PC)
-		}
-		inWarmup := stats.Branches < opt.Warmup
-		stats.Branches++
-		if !inWarmup {
-			stats.Instructions += uint64(rec.Instret)
-			miss := pred != rec.Taken
-			if miss {
-				stats.Mispredicts++
+		for _, rec := range batch[:n] {
+			// Sampled latency probe: time every probeMask+1'th branch so
+			// instrumentation costs two clock reads per period, not per
+			// branch. The nil-probe path is a single predictable test.
+			sample := probe != nil && stats.Branches&probeMask == 0
+			var pred bool
+			if sample {
+				t0 := time.Now()
+				pred = p.Predict(rec.PC)
+				probe.Predict.Observe(time.Since(t0).Seconds())
+			} else {
+				pred = p.Predict(rec.PC)
 			}
-			// Provenance is read here, after Predict and before Update,
-			// so Explain always sees the in-flight prediction it is
-			// attributing.
-			if dt != nil {
-				dt.record(rec.PC, miss, stats.Branches)
-			}
-			if opt.Window > 0 {
-				win.Branches++
-				win.Instructions += uint64(rec.Instret)
+			inWarmup := stats.Branches < opt.Warmup
+			stats.Branches++
+			if !inWarmup {
+				stats.Instructions += uint64(rec.Instret)
+				miss := pred != rec.Taken
 				if miss {
-					win.Mispredicts++
+					stats.Mispredicts++
 				}
-				if win.Branches == opt.Window {
-					stats.Windows = append(stats.Windows, win)
-					win = WindowStat{}
+				// Provenance is read here, after Predict and before Update,
+				// so Explain always sees the in-flight prediction it is
+				// attributing.
+				if dt != nil {
+					dt.record(rec.PC, miss, stats.Branches)
 				}
+				if opt.Window > 0 {
+					win.Branches++
+					win.Instructions += uint64(rec.Instret)
+					if miss {
+						win.Mispredicts++
+					}
+					if win.Branches == opt.Window {
+						stats.Windows = append(stats.Windows, win)
+						win = WindowStat{}
+					}
+				}
+				if stats.perPC != nil {
+					st := stats.perPC[rec.PC]
+					if st == nil {
+						st = &pcStat{pc: rec.PC}
+						stats.perPC[rec.PC] = st
+					}
+					st.count++
+					if miss {
+						st.mispreds++
+					}
+				}
+			} else if dt != nil {
+				// Warmup occurrences still advance the per-site counts so
+				// cold-site classification reflects what the predictor has
+				// actually trained on.
+				dt.warm(rec.PC)
 			}
-			if stats.perPC != nil {
-				st := stats.perPC[rec.PC]
-				if st == nil {
-					st = &pcStat{pc: rec.PC}
-					stats.perPC[rec.PC] = st
+			u := pending{rec.PC, rec.Taken, rec.Target}
+			if opt.UpdateDelay > 0 {
+				dq[(dqHead+dqLen)%len(dq)] = u
+				dqLen++
+				if dqLen <= opt.UpdateDelay {
+					continue
 				}
-				st.count++
-				if miss {
-					st.mispreds++
-				}
+				u = dq[dqHead]
+				dqHead = (dqHead + 1) % len(dq)
+				dqLen--
 			}
-		} else if dt != nil {
-			// Warmup occurrences still advance the per-site counts so
-			// cold-site classification reflects what the predictor has
-			// actually trained on.
-			dt.warm(rec.PC)
-		}
-		u := pending{rec.PC, rec.Taken, rec.Target}
-		if opt.UpdateDelay > 0 {
-			queue = append(queue, u)
-			if len(queue) <= opt.UpdateDelay {
-				continue
+			if sample {
+				t0 := time.Now()
+				p.Update(u.pc, u.taken, u.target)
+				probe.Update.Observe(time.Since(t0).Seconds())
+			} else {
+				p.Update(u.pc, u.taken, u.target)
 			}
-			u = queue[0]
-			queue = queue[1:]
-		}
-		if sample {
-			t0 := time.Now()
-			p.Update(u.pc, u.taken, u.target)
-			probe.Update.Observe(time.Since(t0).Seconds())
-		} else {
-			p.Update(u.pc, u.taken, u.target)
 		}
 	}
-	for _, u := range queue {
+	for ; dqLen > 0; dqLen-- {
+		u := dq[dqHead]
+		dqHead = (dqHead + 1) % len(dq)
 		p.Update(u.pc, u.taken, u.target)
 	}
 	if win.Branches > 0 {

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func randomTrace(rng *rand.Rand, n int) Slice {
+	out := make(Slice, n)
+	pc := uint64(0x1000)
+	for i := range out {
+		pc += uint64(rng.Intn(64)) * 4
+		out[i] = Record{
+			PC:      pc,
+			Target:  pc + uint64(rng.Intn(256)) - 128,
+			Taken:   rng.Intn(2) == 0,
+			Instret: uint8(1 + rng.Intn(maxInstret)),
+		}
+	}
+	return out
+}
+
+// drainBatched reads everything from br with varying batch sizes.
+func drainBatched(t *testing.T, br BatchReader, sizes []int) Slice {
+	t.Helper()
+	var out Slice
+	buf := make([]Record, 64)
+	for i := 0; ; i++ {
+		dst := buf[:sizes[i%len(sizes)]]
+		n, err := br.ReadBatch(dst)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("ReadBatch: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("ReadBatch returned n=%d with io.EOF", n)
+			}
+			return out
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned 0, nil")
+		}
+		out = append(out, dst[:n]...)
+	}
+}
+
+func checkSame(t *testing.T, want, got Slice, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchReadersMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randomTrace(rng, 1000)
+	sizes := []int{1, 3, 64, 7, 13}
+
+	// Slice reader.
+	checkSame(t, recs, drainBatched(t, Batched(recs.Stream()), sizes), "sliceReader")
+
+	// Binary file reader.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkSame(t, recs, drainBatched(t, NewFileReader(bytes.NewReader(buf.Bytes())), sizes), "FileReader")
+
+	// Limit over a batch-capable reader.
+	checkSame(t, recs[:321], drainBatched(t, Batched(Limit(recs.Stream(), 321)), sizes), "limitReader")
+
+	// Adapter over a plain single-record Reader (Func never implements
+	// BatchReader).
+	i := 0
+	fn := Func(func() (Record, error) {
+		if i >= len(recs) {
+			return Record{}, io.EOF
+		}
+		rec := recs[i]
+		i++
+		return rec, nil
+	})
+	checkSame(t, recs, drainBatched(t, Batched(fn), sizes), "batchAdapter")
+
+	// Limit over a plain Reader (exercises the lazy adapter path).
+	j := 0
+	fn2 := Func(func() (Record, error) {
+		if j >= len(recs) {
+			return Record{}, io.EOF
+		}
+		rec := recs[j]
+		j++
+		return rec, nil
+	})
+	checkSame(t, recs[:500], drainBatched(t, Batched(Limit(fn2, 500)), sizes), "limitReader/adapter")
+}
+
+// TestBatchDeferredError verifies the records-xor-error contract: an
+// error encountered mid-batch is held back until the next call.
+func TestBatchDeferredError(t *testing.T) {
+	boom := errors.New("boom")
+	i := 0
+	fn := Func(func() (Record, error) {
+		if i >= 5 {
+			return Record{}, boom
+		}
+		i++
+		return Record{PC: uint64(i), Instret: 1}, nil
+	})
+	br := Batched(fn)
+	dst := make([]Record, 8)
+	n, err := br.ReadBatch(dst)
+	if n != 5 || err != nil {
+		t.Fatalf("first batch: n=%d err=%v, want 5 records and nil", n, err)
+	}
+	n, err = br.ReadBatch(dst)
+	if n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("second batch: n=%d err=%v, want deferred error", n, err)
+	}
+
+	// FileReader: truncated stream mid-batch defers the corruption error.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for k := 0; k < 3; k++ {
+		if err := w.Write(Record{PC: uint64(0x1000 + 4*k), Instret: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	fr := NewFileReader(bytes.NewReader(raw[:len(raw)-1])) // drop final flags byte
+	n, err = fr.ReadBatch(dst)
+	if n != 2 || err != nil {
+		t.Fatalf("truncated batch: n=%d err=%v, want 2 records and nil", n, err)
+	}
+	n, err = fr.ReadBatch(dst)
+	if n != 0 || err == nil {
+		t.Fatalf("truncated tail: n=%d err=%v, want deferred corruption error", n, err)
+	}
+}

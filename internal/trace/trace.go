@@ -39,10 +39,59 @@ type Reader interface {
 	Read() (Record, error)
 }
 
+// BatchReader yields trace records many at a time into a caller-owned
+// buffer, amortising interface dispatch and error checks over the batch.
+// ReadBatch fills dst with up to len(dst) records and returns the count;
+// it returns a non-nil error — io.EOF at a clean end of trace — only
+// when n == 0, so consumers never have to handle records and an error
+// from the same call. Every Reader in this package also implements
+// BatchReader; arbitrary Readers are adapted with Batched.
+type BatchReader interface {
+	ReadBatch(dst []Record) (int, error)
+}
+
+// Batched returns a BatchReader view of r: r itself when it already
+// implements BatchReader, otherwise an adapter that fills batches with
+// repeated single-record Reads.
+func Batched(r Reader) BatchReader {
+	if br, ok := r.(BatchReader); ok {
+		return br
+	}
+	return &batchAdapter{r: r}
+}
+
+type batchAdapter struct {
+	r   Reader
+	err error // deferred error from a partially filled batch
+}
+
+func (b *batchAdapter) ReadBatch(dst []Record) (int, error) {
+	if b.err != nil {
+		err := b.err
+		b.err = nil
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		rec, err := b.r.Read()
+		if err != nil {
+			if n > 0 {
+				b.err = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = rec
+		n++
+	}
+	return n, nil
+}
+
 // Slice is an in-memory trace. It implements Reader via Stream.
 type Slice []Record
 
-// Stream returns a Reader over the slice.
+// Stream returns a Reader over the slice. The returned reader also
+// implements BatchReader.
 func (s Slice) Stream() Reader { return &sliceReader{recs: s} }
 
 type sliceReader struct {
@@ -57,6 +106,16 @@ func (r *sliceReader) Read() (Record, error) {
 	rec := r.recs[r.pos]
 	r.pos++
 	return rec, nil
+}
+
+// ReadBatch implements BatchReader with one copy.
+func (r *sliceReader) ReadBatch(dst []Record) (int, error) {
+	if r.pos >= len(r.recs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.recs[r.pos:])
+	r.pos += n
+	return n, nil
 }
 
 // Source binds a label to the slice so it can serve as an in-memory
@@ -178,12 +237,14 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// FileReader decodes the BFT1 format. It implements Reader.
+// FileReader decodes the BFT1 format. It implements Reader and
+// BatchReader.
 type FileReader struct {
 	r      *bufio.Reader
 	prevPC uint64
 	prevTg uint64
 	began  bool
+	err    error // deferred error from a partially filled batch
 }
 
 // NewFileReader wraps r. The header is validated lazily on first Read.
@@ -231,6 +292,31 @@ func (fr *FileReader) Read() (Record, error) {
 	}, nil
 }
 
+// ReadBatch implements BatchReader: it decodes until dst is full or the
+// stream ends. An error hit after at least one decoded record is
+// deferred to the next call, honouring the records-xor-error contract.
+func (fr *FileReader) ReadBatch(dst []Record) (int, error) {
+	if fr.err != nil {
+		err := fr.err
+		fr.err = nil
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		rec, err := fr.Read()
+		if err != nil {
+			if n > 0 {
+				fr.err = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = rec
+		n++
+	}
+	return n, nil
+}
+
 func eofIsCorrupt(err error) error {
 	if errors.Is(err, io.EOF) {
 		return io.ErrUnexpectedEOF
@@ -241,11 +327,14 @@ func eofIsCorrupt(err error) error {
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// Limit returns a Reader that yields at most n records from r.
+// Limit returns a Reader that yields at most n records from r. The
+// returned reader also implements BatchReader, delegating batch reads
+// when r supports them.
 func Limit(r Reader, n uint64) Reader { return &limitReader{r: r, left: n} }
 
 type limitReader struct {
 	r    Reader
+	br   BatchReader // lazily resolved batch view of r
 	left uint64
 }
 
@@ -259,6 +348,23 @@ func (l *limitReader) Read() (Record, error) {
 	}
 	l.left--
 	return rec, nil
+}
+
+// ReadBatch implements BatchReader, capping the batch at the remaining
+// budget.
+func (l *limitReader) ReadBatch(dst []Record) (int, error) {
+	if l.left == 0 {
+		return 0, io.EOF
+	}
+	if uint64(len(dst)) > l.left {
+		dst = dst[:l.left]
+	}
+	if l.br == nil {
+		l.br = Batched(l.r)
+	}
+	n, err := l.br.ReadBatch(dst)
+	l.left -= uint64(n)
+	return n, err
 }
 
 // Func adapts a generator function to the Reader interface. The function

@@ -39,6 +39,33 @@ func (r *specReader) Read() (trace.Record, error) {
 	return rec, nil
 }
 
+// ReadBatch implements trace.BatchReader: it copies whole kernel bursts
+// into dst, synthesising new bursts as needed, so the streaming
+// generator feeds the batched simulator loop without per-record
+// dispatch. The record sequence is identical to repeated Read calls.
+func (r *specReader) ReadBatch(dst []trace.Record) (int, error) {
+	e := r.g.e
+	n := 0
+	for n < len(dst) {
+		for r.pos >= len(e.out) {
+			if e.full() {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, io.EOF
+			}
+			e.drained += len(e.out)
+			e.out = e.out[:0]
+			r.pos = 0
+			r.g.stepOnce()
+		}
+		c := copy(dst[n:], e.out[r.pos:])
+		n += c
+		r.pos += c
+	}
+	return n, nil
+}
+
 // Source binds the spec to a branch count as a streaming suite trace
 // source: it satisfies sim.TraceSource, opening a fresh generator-backed
 // reader on every Open call without materialising the trace.

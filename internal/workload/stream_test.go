@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"bfbp/internal/trace"
 )
 
 // Stream must yield exactly the records GenerateN materialises — the
@@ -29,6 +31,46 @@ func TestStreamMatchesGenerate(t *testing.T) {
 		}
 		if _, err := r.Read(); !errors.Is(err, io.EOF) {
 			t.Fatalf("%s: stream longer than generated trace", name)
+		}
+	}
+}
+
+// ReadBatch must yield the same record sequence as repeated Read calls,
+// across batch sizes that straddle kernel-burst boundaries.
+func TestStreamBatchMatchesSingle(t *testing.T) {
+	for _, name := range []string{"SPEC03", "INT2", "SERV1"} {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("trace %s missing", name)
+		}
+		const n = 10_000
+		want := s.GenerateN(n)
+		r := s.Stream(n)
+		br, ok := r.(trace.BatchReader)
+		if !ok {
+			t.Fatalf("%s: specReader does not implement trace.BatchReader", name)
+		}
+		sizes := []int{1, 7, 512, 33, 4096}
+		buf := make([]trace.Record, 4096)
+		var got []trace.Record
+		for i := 0; ; i++ {
+			dst := buf[:sizes[i%len(sizes)]]
+			k, err := br.ReadBatch(dst)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: batch %d: %v", name, i, err)
+			}
+			got = append(got, dst[:k]...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: batched stream yielded %d records, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: record %d diverges: batch %+v, generate %+v", name, i, got[i], want[i])
+			}
 		}
 	}
 }
