@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick microbench
+.PHONY: all build vet test race check bench bench-quick microbench trace-smoke
 
 all: check
 
@@ -32,6 +32,19 @@ bench:
 
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out bench_ci.json -baseline BENCH_0.json -tolerance 2
+
+# Traced end-to-end smoke: run a small 2-trace suite twice with
+# -trace-out/-journal enabled, summarize the journal, and diff the two
+# runs — identical seeds must diff clean (exit 1 otherwise). Leaves
+# trace_ci.json + journal_ci.jsonl behind for CI artifact upload and
+# for loading into Perfetto by hand.
+trace-smoke:
+	$(GO) run ./cmd/bfsim -p bimodal,gshare -t INT1,MM1 -n 100000 \
+		-trace-out trace_ci.json -journal journal_ci.jsonl > /dev/null
+	$(GO) run ./cmd/bfsim -p bimodal,gshare -t INT1,MM1 -n 100000 \
+		-journal journal_ci_b.jsonl > /dev/null
+	$(GO) run ./cmd/journal summary journal_ci.jsonl
+	$(GO) run ./cmd/journal diff journal_ci.jsonl journal_ci_b.jsonl
 
 # Go microbenchmarks (root package + engine/telemetry overhead).
 BENCHTIME ?= 1s

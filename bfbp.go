@@ -105,6 +105,12 @@ type (
 	MetricsHistogram = obs.Histogram
 	// Journal writes bfbp.journal.v1 JSONL run events.
 	Journal = obs.Journal
+	// Tracer records hierarchical execution spans as a bfbp.trace.v1
+	// timeline (Chrome trace-event JSON, loadable in Perfetto); assign
+	// to Engine.Tracer.
+	Tracer = obs.Tracer
+	// Span is one timed slice of a Tracer's timeline.
+	Span = obs.Span
 	// EngineMetrics is the engine metric set; assign to Engine.Metrics.
 	EngineMetrics = sim.EngineMetrics
 	// EngineSnapshot is a point-in-time read of the engine metrics.
@@ -147,6 +153,12 @@ func NewEngineMetrics(reg *MetricsRegistry) *EngineMetrics { return sim.NewEngin
 // NewJournal returns a run journal writing bfbp.journal.v1 JSONL
 // events to w; assign it to Engine.Journal and Close it when done.
 func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// NewTracer returns an execution-span tracer streaming bfbp.trace.v1
+// JSON to w; assign it to Engine.Tracer and Close it when done to seal
+// the file. Journal events carry the matching span IDs in their "span"
+// field.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
 // MetricsMux returns an http.ServeMux serving /metrics (Prometheus
 // text), /debug/vars (expvar-style JSON), and /debug/pprof/* for the

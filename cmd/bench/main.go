@@ -18,6 +18,8 @@
 //	bench -baseline BENCH_0.json -tolerance 2   # regression gate
 //	bench -preds bf-neural -traces SPEC03 -n 1000000
 //	bench -cpuprofile cpu.pprof    # profile the measured runs
+//	bench -trace-out bench.trace.json           # Perfetto span timeline
+//	bench -runtime-trace bench.rtrace           # Go runtime/trace capture
 package main
 
 import (
@@ -32,8 +34,10 @@ import (
 	"time"
 
 	"bfbp"
+	"bfbp/internal/obs"
 	"bfbp/internal/prof"
 	"bfbp/internal/sim"
+	"bfbp/internal/telemetry"
 )
 
 // Fixed matrix: the two headline predictors whose throughput the
@@ -89,6 +93,8 @@ func main() {
 		out       = flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
 		baseline  = flag.String("baseline", "", "compare against this bfbp.bench.v1 file")
 		tolerance = flag.Float64("tolerance", 2.0, "fail when a row is this factor slower than the baseline")
+		traceOut  = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
+		rtraceOut = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
 	)
 	prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -124,6 +130,13 @@ func main() {
 	}
 	defer stop()
 
+	tel, err := telemetry.Start(telemetry.Config{TracePath: *traceOut, RuntimeTracePath: *rtraceOut})
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.Close()
+	tracer := tel.RunTracer()
+
 	rep := Report{
 		Schema:     "bfbp.bench.v1",
 		Created:    time.Now().UTC().Format(time.RFC3339),
@@ -139,7 +152,7 @@ func main() {
 	rowAgg := map[string]*Row{}
 	for _, src := range sources {
 		for _, info := range specs {
-			cell, err := measure(info, src, opt, *runs)
+			cell, err := measure(tracer, info, src, opt, *runs)
 			if err != nil {
 				fatal(err)
 			}
@@ -187,13 +200,20 @@ func main() {
 // measure times `runs` full simulations of one matrix cell — a fresh
 // predictor over a fresh streaming reader each time — and keeps the
 // fastest, the standard best-of-N discipline for wall-clock benchmarks.
-func measure(info bfbp.PredictorInfo, src bfbp.TraceSource, opt sim.Options, runs int) (Cell, error) {
+// When tracer is non-nil every measured run gets a root span on lane 0
+// so bench timelines show the per-run batch/drain structure.
+func measure(tracer *obs.Tracer, info bfbp.PredictorInfo, src bfbp.TraceSource, opt sim.Options, runs int) (Cell, error) {
 	cell := Cell{Predictor: info.Name, Trace: src.Name()}
 	for i := 0; i < runs; i++ {
 		p := info.New()
+		if tracer != nil {
+			opt.TraceSpan = tracer.StartSpan("bench", info.Name+"/"+src.Name(), 0).
+				Attr("predictor", info.Name).Attr("trace", src.Name()).Attr("run", i)
+		}
 		start := time.Now()
 		st, err := sim.Run(p, src.Open(), opt)
 		elapsed := time.Since(start)
+		opt.TraceSpan.End()
 		if err != nil {
 			return cell, fmt.Errorf("bench: %s on %s: %w", info.Name, src.Name(), err)
 		}

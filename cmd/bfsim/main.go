@@ -24,6 +24,8 @@
 //	bfsim -p all-suite... -metrics-addr :8080    # /metrics, /debug/vars, /debug/pprof
 //	bfsim ... -journal run.jsonl                 # bfbp.journal.v1 event log
 //	bfsim ... -heartbeat 10s                     # periodic stderr progress line
+//	bfsim ... -trace-out run.trace.json          # bfbp.trace.v1 span timeline (Perfetto)
+//	bfsim ... -runtime-trace run.rtrace          # Go runtime/trace with bridged spans
 //
 // Run-to-completion profiles land in files for `go tool pprof`:
 //
@@ -71,6 +73,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
+		rtraceOut   = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
 	)
 	prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -113,9 +117,11 @@ func main() {
 		warm = uint64(*warmup)
 	}
 	tel, err := telemetry.Start(telemetry.Config{
-		MetricsAddr: *metricsAddr,
-		JournalPath: *journalPath,
-		Heartbeat:   *heartbeat,
+		MetricsAddr:      *metricsAddr,
+		JournalPath:      *journalPath,
+		Heartbeat:        *heartbeat,
+		TracePath:        *traceOut,
+		RuntimeTracePath: *rtraceOut,
 	})
 	if err != nil {
 		fatal(err)
@@ -144,6 +150,9 @@ func main() {
 	defer stop()
 	results, err := eng.Run(ctx, bfbp.Matrix(sources, specs, eng.Options))
 	if err != nil {
+		// Seal the trace/journal before exiting so a cancelled run's
+		// partial timeline still loads cleanly (fatal skips defers).
+		tel.Close()
 		fatal(err)
 	}
 	if err := tel.Close(); err != nil {

@@ -17,12 +17,14 @@
 //	experiments -suite -preds oh-snap,bf-neural      # registry predictor set
 //	experiments -suite -metrics-addr :8080           # live /metrics + pprof
 //	experiments -suite -journal run.jsonl -heartbeat 10s
+//	experiments -suite -trace-out run.trace.json     # Perfetto span timeline
 //
 // The -long/-short flags set the per-trace dynamic branch counts (the
 // paper used 15-30M and 3-5M; defaults here are laptop-scale). Suite
 // rows are deterministic: byte-identical output for any -workers value.
-// Telemetry (-metrics-addr, -journal, -heartbeat) observes any run —
-// figures or suite — without perturbing its output.
+// Telemetry (-metrics-addr, -journal, -heartbeat, -trace-out,
+// -runtime-trace) observes any run — figures or suite — without
+// perturbing its output.
 package main
 
 import (
@@ -60,6 +62,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
+		rtraceOut   = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
 	)
 	prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -83,9 +87,11 @@ func main() {
 	}
 
 	tel, err := telemetry.Start(telemetry.Config{
-		MetricsAddr: *metricsAddr,
-		JournalPath: *journalPath,
-		Heartbeat:   *heartbeat,
+		MetricsAddr:      *metricsAddr,
+		JournalPath:      *journalPath,
+		Heartbeat:        *heartbeat,
+		TracePath:        *traceOut,
+		RuntimeTracePath: *rtraceOut,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,6 +99,7 @@ func main() {
 	defer tel.Close()
 	cfg.Metrics = tel.EngineMetrics()
 	cfg.Journal = tel.RunJournal()
+	cfg.Tracer = tel.RunTracer()
 
 	if *suite {
 		runSuite(cfg, *predNames, *jsonOut)

@@ -91,6 +91,7 @@ func runEngine(cfg Config, figure string, jobs []sim.Job) []sim.RunResult {
 		},
 		Metrics: cfg.Metrics,
 		Journal: cfg.Journal,
+		Tracer:  cfg.Tracer,
 	}
 	results, err := eng.Run(context.Background(), jobs)
 	if err != nil {
@@ -135,6 +136,7 @@ func Suite(ctx context.Context, cfg Config, preds []sim.PredictorSpec) ([]sim.Ru
 		},
 		Metrics: cfg.Metrics,
 		Journal: cfg.Journal,
+		Tracer:  cfg.Tracer,
 	}
 	results, err := eng.Run(ctx, jobs)
 	if err != nil {

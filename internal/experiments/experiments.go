@@ -46,6 +46,9 @@ type Config struct {
 	// Journal, when non-nil, receives bfbp.journal.v1 events from every
 	// engine run.
 	Journal *obs.Journal
+	// Tracer, when non-nil, records bfbp.trace.v1 execution spans from
+	// every engine run.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig is the laptop-scale configuration used by the benchmarks.

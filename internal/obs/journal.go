@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,9 +28,10 @@ type Journal struct {
 	// goroutines. Nil defaults to time.Now.
 	Clock func() time.Time
 
-	mu  sync.Mutex
-	buf *bufio.Writer
-	err error
+	mu    sync.Mutex
+	buf   *bufio.Writer
+	err   error
+	bytes atomic.Uint64
 }
 
 // NewJournal returns a journal writing to w. Each event is flushed to
@@ -88,7 +90,18 @@ func (j *Journal) Emit(event string, payload any) {
 	}
 	if err := j.buf.Flush(); err != nil {
 		j.err = err
+		return
 	}
+	j.bytes.Add(uint64(len(line)) + 1)
+}
+
+// Bytes returns the number of journal bytes successfully written so
+// far (events plus their newlines), for heartbeat lines. Nil-safe.
+func (j *Journal) Bytes() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.bytes.Load()
 }
 
 func mustRaw(s string) json.RawMessage {

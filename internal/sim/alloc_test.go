@@ -46,6 +46,10 @@ func TestRunContextSteadyStateAllocs(t *testing.T) {
 		{"plain", Options{}},
 		{"warmup", Options{Warmup: 10_000}},
 		{"delay", Options{UpdateDelay: 64}},
+		// Instrumented sample path with nil histograms and tracing off:
+		// the probe's timing branch runs every 256th branch but the nil
+		// TraceSpan must keep Phase/Child on the zero-alloc no-op path.
+		{"probed", Options{Probe: &HarnessProbe{Every: 256}}},
 	} {
 		p := &lruPredictor{}
 		avg := testing.AllocsPerRun(5, func() {

@@ -116,6 +116,14 @@ type Engine struct {
 	// (suite/run lifecycle, per-window MPKI, worker state transitions,
 	// table-hit distributions, storage budgets).
 	Journal *obs.Journal
+	// Tracer, when non-nil, records the suite's execution timeline as
+	// bfbp.trace.v1 spans: one suite span on lane 0, one run span per
+	// matrix cell on its worker's lane, and the harness's batch/drain
+	// spans and sampled predict/update phases beneath each run. Journal
+	// events carry the matching span IDs in their "span" field, so a
+	// journal record can be joined to its timeline slice. Nil disables
+	// tracing entirely and runs the uninstrumented path.
+	Tracer *obs.Tracer
 }
 
 // Run evaluates every job and returns results in job order — identical
@@ -131,12 +139,22 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 		failed      int
 		storageSeen sync.Map
 	)
-	m, j := e.Metrics, e.Journal
+	m, j, tr := e.Metrics, e.Journal, e.Tracer
 	workers := effectiveWorkers(e.Workers, len(jobs))
 	m.suiteStart(len(jobs), workers)
 	defer m.suiteFinish()
 	preds, traces := suiteNames(jobs)
-	j.Emit("suite_start", journalSuiteStart{Jobs: len(jobs), Workers: workers, Predictors: preds, Traces: traces})
+	var suite *obs.Span
+	if tr != nil {
+		tr.ProcessName("bfbp")
+		tr.ThreadName(0, "engine")
+		for w := 0; w < workers; w++ {
+			tr.ThreadName(int64(w+1), fmt.Sprintf("worker %d", w))
+		}
+		suite = tr.StartSpan("suite", "suite", 0).
+			Attr("jobs", len(jobs)).Attr("workers", workers)
+	}
+	j.Emit("suite_start", journalSuiteStart{Jobs: len(jobs), Workers: workers, Predictors: preds, Traces: traces, Span: suite.ID()})
 	suiteStart := time.Now()
 	err := forEachWorker(ctx, len(jobs), e.Workers, func(ctx context.Context, worker, i int) error {
 		job := jobs[i]
@@ -147,22 +165,33 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 		if m != nil && opt.Probe == nil {
 			opt.Probe = m.Probe()
 		}
+		var rsp *obs.Span
+		if tr != nil {
+			// Run spans live on their worker's lane (tid worker+1; the
+			// suite span owns lane 0) so Perfetto shows one row per
+			// worker with the cells it executed.
+			rsp = suite.ChildTID("run", job.Predictor.Name+"/"+job.Source.Name(), int64(worker+1)).
+				Attr("trace", job.Source.Name()).Attr("predictor", job.Predictor.Name)
+			opt.TraceSpan = rsp
+		}
+		sid := rsp.ID()
 		m.runStart()
-		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "busy"})
-		j.Emit("run_start", journalRunStart{Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker})
+		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "busy", Span: sid})
+		j.Emit("run_start", journalRunStart{Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker, Span: sid})
 		p := job.Predictor.New()
 		start := time.Now()
 		st, err := RunContext(ctx, p, job.Source.Open(), opt)
 		elapsed := time.Since(start)
+		rsp.Attr("branches", st.Branches).End()
 		m.runFinish(job.Predictor.Name, st, elapsed, err)
 		if err != nil {
 			mu.Lock()
 			failed++
 			mu.Unlock()
 			j.Emit("run_error", journalRunError{
-				Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker, Error: err.Error(),
+				Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker, Error: err.Error(), Span: sid,
 			})
-			j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle"})
+			j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle", Span: sid})
 			return fmt.Errorf("sim: %s on %s: %w", job.Predictor.Name, job.Source.Name(), err)
 		}
 		results[i] = RunResult{
@@ -172,8 +201,8 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 			Elapsed:   elapsed,
 			Instance:  p,
 		}
-		journalRun(j, results[i], worker, &storageSeen)
-		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle"})
+		journalRun(j, results[i], worker, sid, &storageSeen)
+		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "idle", Span: sid})
 		mu.Lock()
 		done++
 		if e.Progress != nil {
@@ -189,7 +218,8 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 		mu.Unlock()
 		return nil
 	})
-	j.Emit("suite_finish", journalSuiteFinish{Runs: done, Failed: failed, ElapsedNS: time.Since(suiteStart).Nanoseconds()})
+	suite.Attr("runs", done).Attr("failed", failed).End()
+	j.Emit("suite_finish", journalSuiteFinish{Runs: done, Failed: failed, ElapsedNS: time.Since(suiteStart).Nanoseconds(), Span: suite.ID()})
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -63,6 +64,53 @@ func TestJournalKindsMatchDocs(t *testing.T) {
 	for k := range published {
 		if !strings.Contains(string(doc), "`"+k+"`") {
 			t.Errorf("DESIGN.md schema table missing `%s`", k)
+		}
+	}
+
+	// DESIGN.md must also document the trace correlation contract: the
+	// bfbp.trace.v1 export format and the journal's span field.
+	for _, frag := range []string{"`bfbp.trace.v1`", "`span`"} {
+		if !strings.Contains(string(doc), frag) {
+			t.Errorf("DESIGN.md missing %s (trace/journal correlation contract)", frag)
+		}
+	}
+}
+
+// Every journal payload must carry the optional span tag, so any
+// journal record can be joined to its bfbp.trace.v1 timeline slice. A
+// new event kind whose payload forgets the field breaks the
+// correlation contract silently — this guard makes it loud.
+func TestJournalPayloadsCarrySpanTag(t *testing.T) {
+	payloads := map[string]any{
+		"suite_start":           journalSuiteStart{},
+		"suite_finish":          journalSuiteFinish{},
+		"run_start":             journalRunStart{},
+		"run_finish":            journalRunFinish{},
+		"run_error":             journalRunError{},
+		"window":                journalWindow{},
+		"table_hits":            journalTableHits{},
+		"storage":               journalStorage{},
+		"worker_state":          journalWorkerState{},
+		"provenance":            journalProvenance{},
+		"component_attribution": journalComponentAttribution{},
+	}
+	for _, k := range JournalEventKinds() {
+		if _, ok := payloads[k]; !ok {
+			t.Errorf("no payload struct registered here for kind %q — add it to this test", k)
+		}
+	}
+	for kind, payload := range payloads {
+		typ := reflect.TypeOf(payload)
+		field, ok := typ.FieldByName("Span")
+		if !ok {
+			t.Errorf("%s payload %s has no Span field", kind, typ.Name())
+			continue
+		}
+		if tag := field.Tag.Get("json"); tag != "span,omitempty" {
+			t.Errorf("%s payload %s.Span json tag = %q, want \"span,omitempty\"", kind, typ.Name(), tag)
+		}
+		if field.Type.Kind() != reflect.Uint64 {
+			t.Errorf("%s payload %s.Span is %s, want uint64", kind, typ.Name(), field.Type)
 		}
 	}
 }

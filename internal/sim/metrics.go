@@ -214,18 +214,21 @@ type journalSuiteStart struct {
 	Workers    int      `json:"workers"`
 	Predictors []string `json:"predictors"`
 	Traces     []string `json:"traces"`
+	Span       uint64   `json:"span,omitempty"`
 }
 
 type journalSuiteFinish struct {
-	Runs      int   `json:"runs"`
-	Failed    int   `json:"failed"`
-	ElapsedNS int64 `json:"elapsed_ns"`
+	Runs      int    `json:"runs"`
+	Failed    int    `json:"failed"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Span      uint64 `json:"span,omitempty"`
 }
 
 type journalRunStart struct {
 	Trace     string `json:"trace"`
 	Predictor string `json:"predictor"`
 	Worker    int    `json:"worker"`
+	Span      uint64 `json:"span,omitempty"`
 }
 
 type journalRunFinish struct {
@@ -239,6 +242,7 @@ type journalRunFinish struct {
 	Accuracy       float64 `json:"accuracy"`
 	ElapsedNS      int64   `json:"elapsed_ns"`
 	BranchesPerSec float64 `json:"branches_per_sec"`
+	Span           uint64  `json:"span,omitempty"`
 }
 
 type journalRunError struct {
@@ -246,6 +250,7 @@ type journalRunError struct {
 	Predictor string `json:"predictor"`
 	Worker    int    `json:"worker"`
 	Error     string `json:"error"`
+	Span      uint64 `json:"span,omitempty"`
 }
 
 type journalWindow struct {
@@ -256,12 +261,14 @@ type journalWindow struct {
 	Mispredicts  uint64  `json:"mispredicts"`
 	Instructions uint64  `json:"instructions"`
 	MPKI         float64 `json:"mpki"`
+	Span         uint64  `json:"span,omitempty"`
 }
 
 type journalTableHits struct {
 	Trace     string   `json:"trace"`
 	Predictor string   `json:"predictor"`
 	Hits      []uint64 `json:"hits"`
+	Span      uint64   `json:"span,omitempty"`
 }
 
 type journalStorageComponent struct {
@@ -273,11 +280,13 @@ type journalStorage struct {
 	Predictor  string                    `json:"predictor"`
 	TotalBits  int                       `json:"total_bits"`
 	Components []journalStorageComponent `json:"components"`
+	Span       uint64                    `json:"span,omitempty"`
 }
 
 type journalWorkerState struct {
 	Worker int    `json:"worker"`
 	State  string `json:"state"`
+	Span   uint64 `json:"span,omitempty"`
 }
 
 type journalProvenance struct {
@@ -287,6 +296,7 @@ type journalProvenance struct {
 	Causes        map[string]uint64 `json:"causes"`
 	MarginSamples uint64            `json:"margin_samples"`
 	MarginCounts  []uint64          `json:"margin_counts"`
+	Span          uint64            `json:"span,omitempty"`
 }
 
 type journalComponentEntry struct {
@@ -301,6 +311,7 @@ type journalComponentAttribution struct {
 	Components []journalComponentEntry `json:"components"`
 	BankHits   []uint64                `json:"bank_hits,omitempty"`
 	BankMisses []uint64                `json:"bank_misses,omitempty"`
+	Span       uint64                  `json:"span,omitempty"`
 }
 
 // JournalEventKinds lists every bfbp.journal.v1 event kind the engine
@@ -318,8 +329,10 @@ func JournalEventKinds() []string {
 // journalRun emits the per-run event group for one completed cell:
 // run_finish, one window event per WindowStat, the provider-table
 // histogram for TAGE-class predictors, and (once per predictor name per
-// suite) the storage budget.
-func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map) {
+// suite) the storage budget. Every event carries the cell's execution
+// span ID (0 and omitted when tracing is off) so journal records join
+// to their bfbp.trace.v1 timeline slices.
+func journalRun(j *obs.Journal, res RunResult, worker int, span uint64, storageSeen *sync.Map) {
 	if j == nil {
 		return
 	}
@@ -339,6 +352,7 @@ func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map
 		Accuracy:       st.Accuracy(),
 		ElapsedNS:      res.Elapsed.Nanoseconds(),
 		BranchesPerSec: rate,
+		Span:           span,
 	})
 	for i, w := range st.Windows {
 		j.Emit("window", journalWindow{
@@ -349,6 +363,7 @@ func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map
 			Mispredicts:  w.Mispredicts,
 			Instructions: w.Instructions,
 			MPKI:         w.MPKI(),
+			Span:         span,
 		})
 	}
 	if pv := st.Provenance; pv != nil {
@@ -359,12 +374,14 @@ func journalRun(j *obs.Journal, res RunResult, worker int, storageSeen *sync.Map
 			Causes:        pv.Causes,
 			MarginSamples: pv.MarginSamples,
 			MarginCounts:  pv.MarginCounts,
+			Span:          span,
 		})
 		attr := journalComponentAttribution{
 			Trace:      res.Trace,
 			Predictor:  res.Predictor,
 			BankHits:   pv.BankHits,
 			BankMisses: pv.BankMisses,
+			Span:       span,
 		}
 		names := make([]string, 0, len(pv.Components))
 		for name := range pv.Components {

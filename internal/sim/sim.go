@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"bfbp/internal/obs"
 	"bfbp/internal/trace"
 )
 
@@ -266,6 +267,14 @@ type Options struct {
 	// up to a power of two (0 means every 64). Attribution and taxonomy
 	// always cover every post-warmup branch; only margins are sampled.
 	ExplainEvery uint64
+	// TraceSpan, when non-nil, is the parent execution span under which
+	// RunContext records its timeline: one "batch" span per record
+	// batch, a "drain" span for the delayed-update flush, and — when a
+	// Probe samples a branch — retroactive "predict"/"update" phase
+	// slices. The engine injects the per-run span automatically when
+	// Engine.Tracer is set; a nil span runs the uninstrumented
+	// (zero-alloc) hot path.
+	TraceSpan *obs.Span
 }
 
 type pending struct {
@@ -326,12 +335,20 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 	br := trace.Batched(r)
 	batch := make([]trace.Record, runBatchSize)
 	var win WindowStat
+	// sp parents the run's timeline; every Span/Phase call below is a
+	// nil-safe no-op (and allocation-free) when tracing is off.
+	sp := opt.TraceSpan
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
+		// The batch span covers the read too, so trace synthesis /
+		// decode time (the "queueing" ahead of predict+update) is part
+		// of the slice.
+		bsp := sp.Child("batch", "batch")
 		n, err := br.ReadBatch(batch)
 		if err != nil {
+			bsp.Attr("records", 0).End()
 			if errors.Is(err, io.EOF) {
 				break
 			}
@@ -346,7 +363,9 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 			if sample {
 				t0 := time.Now()
 				pred = p.Predict(rec.PC)
-				probe.Predict.Observe(time.Since(t0).Seconds())
+				d := time.Since(t0)
+				probe.Predict.Observe(d.Seconds())
+				sp.Phase("predict", d)
 			} else {
 				pred = p.Predict(rec.PC)
 			}
@@ -406,16 +425,23 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 			if sample {
 				t0 := time.Now()
 				p.Update(u.pc, u.taken, u.target)
-				probe.Update.Observe(time.Since(t0).Seconds())
+				d := time.Since(t0)
+				probe.Update.Observe(d.Seconds())
+				sp.Phase("update", d)
 			} else {
 				p.Update(u.pc, u.taken, u.target)
 			}
 		}
+		bsp.Attr("records", n).End()
 	}
-	for ; dqLen > 0; dqLen-- {
-		u := dq[dqHead]
-		dqHead = (dqHead + 1) % len(dq)
-		p.Update(u.pc, u.taken, u.target)
+	if dqLen > 0 {
+		dsp := sp.Child("drain", "drain").Attr("pending", dqLen)
+		for ; dqLen > 0; dqLen-- {
+			u := dq[dqHead]
+			dqHead = (dqHead + 1) % len(dq)
+			p.Update(u.pc, u.taken, u.target)
+		}
+		dsp.End()
 	}
 	if win.Branches > 0 {
 		stats.Windows = append(stats.Windows, win)

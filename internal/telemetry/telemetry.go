@@ -1,8 +1,10 @@
 // Package telemetry wires the obs substrate into the command-line
-// tools: one call turns the -metrics-addr / -journal / -heartbeat
-// flags into a live metrics endpoint (Prometheus text + expvar JSON +
-// net/http/pprof), a bfbp.journal.v1 JSONL file, and a periodic stderr
-// heartbeat summarising engine progress.
+// tools: one call turns the -metrics-addr / -journal / -heartbeat /
+// -trace-out / -runtime-trace flags into a live metrics endpoint
+// (Prometheus text + expvar JSON + net/http/pprof), a bfbp.journal.v1
+// JSONL file, a bfbp.trace.v1 execution-span timeline (loadable in
+// Perfetto or chrome://tracing), an optional runtime/trace capture,
+// and a periodic stderr heartbeat summarising engine progress.
 //
 // Everything degrades to zero cost when disabled: Start returns a nil
 // *T when no telemetry was requested, and every method on a nil *T is
@@ -14,6 +16,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	rtrace "runtime/trace"
 	"sync"
 	"time"
 
@@ -33,6 +36,15 @@ type Config struct {
 	// Heartbeat, when positive, prints an engine-progress line to
 	// stderr at this period.
 	Heartbeat time.Duration
+	// TracePath, when non-empty, writes a bfbp.trace.v1 execution-span
+	// timeline (Chrome trace-event JSON, loadable in Perfetto) to this
+	// file (created or truncated).
+	TracePath string
+	// RuntimeTracePath, when non-empty, captures a Go runtime/trace to
+	// this file and bridges bfbp spans into it as tasks and regions, so
+	// `go tool trace` shows suite/run/batch slices alongside scheduler
+	// and GC events.
+	RuntimeTracePath string
 }
 
 // T is a running telemetry stack. A nil *T is valid and inert.
@@ -43,12 +55,17 @@ type T struct {
 	Engine *sim.EngineMetrics
 	// Journal is the run journal (nil when -journal is unset).
 	Journal *obs.Journal
+	// Tracer is the execution-span tracer (nil when -trace-out is
+	// unset).
+	Tracer *obs.Tracer
 	// Addr is the bound metrics listen address ("" when -metrics-addr
 	// is unset); it differs from Config.MetricsAddr for ":0" binds.
 	Addr string
 
 	server      *http.Server
 	journalFile *os.File
+	traceFile   *os.File
+	rtFile      *os.File
 	stop        chan struct{}
 	stopped     chan struct{}
 	closeOnce   sync.Once
@@ -57,7 +74,8 @@ type T struct {
 
 // Enabled reports whether cfg requests any telemetry.
 func (cfg Config) Enabled() bool {
-	return cfg.MetricsAddr != "" || cfg.JournalPath != "" || cfg.Heartbeat > 0
+	return cfg.MetricsAddr != "" || cfg.JournalPath != "" || cfg.Heartbeat > 0 ||
+		cfg.TracePath != "" || cfg.RuntimeTracePath != ""
 }
 
 // Start brings up the requested sinks. It returns (nil, nil) when cfg
@@ -79,10 +97,38 @@ func Start(cfg Config) (*T, error) {
 		t.Journal = obs.NewJournal(f)
 	}
 
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			t.closeSinks()
+			return nil, fmt.Errorf("telemetry: trace: %w", err)
+		}
+		t.traceFile = f
+		t.Tracer = obs.NewTracer(f)
+		t.Tracer.Instrument(t.Registry)
+	}
+
+	if cfg.RuntimeTracePath != "" {
+		f, err := os.Create(cfg.RuntimeTracePath)
+		if err != nil {
+			t.closeSinks()
+			return nil, fmt.Errorf("telemetry: runtime trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			t.closeSinks()
+			return nil, fmt.Errorf("telemetry: runtime trace: %w", err)
+		}
+		t.rtFile = f
+		if t.Tracer != nil {
+			t.Tracer.BridgeRuntime = true
+		}
+	}
+
 	if cfg.MetricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.MetricsAddr)
 		if err != nil {
-			t.closeJournal()
+			t.closeSinks()
 			return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
 		}
 		t.server = &http.Server{Handler: obs.NewMux(t.Registry)}
@@ -106,6 +152,7 @@ func (t *T) Attach(eng *sim.Engine) {
 	}
 	eng.Metrics = t.Engine
 	eng.Journal = t.Journal
+	eng.Tracer = t.Tracer
 }
 
 // EngineMetrics returns the engine metric set (nil when telemetry is
@@ -125,11 +172,21 @@ func (t *T) RunJournal() *obs.Journal {
 	return t.Journal
 }
 
+// RunTracer returns the execution-span tracer (nil when off).
+func (t *T) RunTracer() *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
 // heartbeat prints one progress line per period:
 //
-//	bfbp: 12/160 runs (0 failed), 8 busy, 140 queued, 45.2M branches, 3.4M branches/s
+//	bfbp: 12/160 runs (0 failed), 8 busy, 140 queued, 45.2M branches, 3.4M branches/s, 9 spans, 1.2M journal
 //
-// The rate is the branch-counter delta since the previous beat.
+// The rate is the branch-counter delta since the previous beat. The
+// spans-in-flight and journal-bytes fields appear only when those
+// sinks are enabled.
 func (t *T) heartbeat(period time.Duration) {
 	defer close(t.stopped)
 	tick := time.NewTicker(period)
@@ -141,15 +198,29 @@ func (t *T) heartbeat(period time.Duration) {
 		case <-t.stop:
 			return
 		case now := <-tick.C:
-			s := t.Engine.Snapshot()
-			rate := float64(s.Branches-lastBranches) / now.Sub(last).Seconds()
-			done := s.RunsOK + s.RunsFailed
-			total := done + uint64(s.Queued) + uint64(s.Busy)
-			fmt.Fprintf(os.Stderr, "bfbp: %d/%d runs (%d failed), %d busy, %d queued, %s branches, %s branches/s\n",
-				done, total, s.RunsFailed, s.Busy, s.Queued, human(float64(s.Branches)), human(rate))
-			lastBranches, last = s.Branches, now
+			fmt.Fprintln(os.Stderr, t.heartbeatLine(&lastBranches, &last, now))
 		}
 	}
+}
+
+// heartbeatLine renders one heartbeat, updating the rate baseline.
+// Split from the ticker loop so tests can exercise the format without
+// real time passing.
+func (t *T) heartbeatLine(lastBranches *uint64, last *time.Time, now time.Time) string {
+	s := t.Engine.Snapshot()
+	rate := float64(s.Branches-*lastBranches) / now.Sub(*last).Seconds()
+	done := s.RunsOK + s.RunsFailed
+	total := done + uint64(s.Queued) + uint64(s.Busy)
+	line := fmt.Sprintf("bfbp: %d/%d runs (%d failed), %d busy, %d queued, %s branches, %s branches/s",
+		done, total, s.RunsFailed, s.Busy, s.Queued, human(float64(s.Branches)), human(rate))
+	if t.Tracer != nil {
+		line += fmt.Sprintf(", %d spans", t.Tracer.InFlight())
+	}
+	if t.Journal != nil {
+		line += fmt.Sprintf(", %s journal", human(float64(t.Journal.Bytes())))
+	}
+	*lastBranches, *last = s.Branches, now
+	return line
 }
 
 // human renders a count with K/M/G suffixes for heartbeat lines.
@@ -166,16 +237,27 @@ func human(v float64) string {
 	}
 }
 
-func (t *T) closeJournal() {
+// closeSinks tears down the file-backed sinks opened so far — used on
+// Start error paths before T escapes to the caller.
+func (t *T) closeSinks() {
+	if t.rtFile != nil {
+		rtrace.Stop()
+		_ = t.rtFile.Close()
+	}
+	if t.traceFile != nil {
+		_ = t.Tracer.Close()
+		_ = t.traceFile.Close()
+	}
 	if t.journalFile != nil {
 		_ = t.Journal.Close()
 		_ = t.journalFile.Close()
 	}
 }
 
-// Close stops the heartbeat, flushes and closes the journal, and shuts
-// the metrics server down. Nil-safe and idempotent; returns the first
-// error (on every call, so a deferred second Close is harmless).
+// Close stops the heartbeat, seals the trace and runtime-trace
+// captures, flushes and closes the journal, and shuts the metrics
+// server down. Nil-safe and idempotent; returns the first error (on
+// every call, so a deferred second Close is harmless).
 func (t *T) Close() error {
 	if t == nil {
 		return nil
@@ -185,8 +267,24 @@ func (t *T) Close() error {
 			close(t.stop)
 			<-t.stopped
 		}
+		if t.Tracer != nil {
+			if err := t.Tracer.Close(); err != nil {
+				t.closeErr = err
+			}
+		}
+		if t.traceFile != nil {
+			if err := t.traceFile.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+		if t.rtFile != nil {
+			rtrace.Stop()
+			if err := t.rtFile.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
 		if t.Journal != nil {
-			if err := t.Journal.Close(); err != nil {
+			if err := t.Journal.Close(); err != nil && t.closeErr == nil {
 				t.closeErr = err
 			}
 		}

@@ -31,7 +31,7 @@ func TestDisabledConfigIsInert(t *testing.T) {
 	if eng.Metrics != nil || eng.Journal != nil {
 		t.Fatal("nil T attached telemetry")
 	}
-	if tel.EngineMetrics() != nil || tel.RunJournal() != nil || tel.Close() != nil {
+	if tel.EngineMetrics() != nil || tel.RunJournal() != nil || tel.RunTracer() != nil || tel.Close() != nil {
 		t.Fatal("nil T methods must be inert")
 	}
 }
@@ -116,6 +116,192 @@ func TestStartServesMetricsAndJournal(t *testing.T) {
 			t.Fatalf("journal missing %s events (got %v)", want, events)
 		}
 	}
+}
+
+// End-to-end with tracing: run a suite with -trace-out wired, then
+// check the sealed file is valid Chrome trace-event JSON with nested
+// suite/run spans and that journal events carry matching span IDs.
+func TestStartTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	journal := filepath.Join(dir, "run.jsonl")
+	tel, err := Start(Config{TracePath: tracePath, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	if tel.RunTracer() == nil {
+		t.Fatal("TracePath set but RunTracer is nil")
+	}
+
+	var eng sim.Engine
+	eng.Workers = 2
+	tel.Attach(&eng)
+	if eng.Tracer == nil {
+		t.Fatal("Attach did not wire the tracer")
+	}
+	spec, ok := workload.ByName("INT1")
+	if !ok {
+		t.Fatal("INT1 missing")
+	}
+	jobs := sim.Matrix(
+		[]sim.TraceSource{spec.Source(20_000)},
+		[]sim.PredictorSpec{
+			{Name: "static-taken", New: func() sim.Predictor { return &sim.StaticPredictor{Direction: true} }},
+			{Name: "static-nt", New: func() sim.Predictor { return &sim.StaticPredictor{} }},
+		},
+		sim.Options{Window: 5_000},
+	)
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Events []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.Schema != "bfbp.trace.v1" {
+		t.Fatalf("schema %q, want bfbp.trace.v1", doc.Schema)
+	}
+	spanIDs := map[float64]string{} // span id -> cat
+	for _, ev := range doc.Events {
+		if ev.Ph != "X" {
+			continue
+		}
+		if id, ok := ev.Args["span"].(float64); ok {
+			spanIDs[id] = ev.Cat
+		}
+	}
+	cats := map[string]int{}
+	for _, c := range spanIDs {
+		cats[c]++
+	}
+	if cats["suite"] != 1 || cats["run"] != 2 || cats["batch"] == 0 {
+		t.Fatalf("want 1 suite, 2 run, >0 batch spans; got %v", cats)
+	}
+
+	// Every span-tagged journal event must reference a real trace span.
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	tagged := 0
+	sc := bufio.NewScanner(jf)
+	for sc.Scan() {
+		var ev struct {
+			Event string   `json:"event"`
+			Span  *float64 `json:"span"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		if ev.Span == nil {
+			continue
+		}
+		tagged++
+		if _, ok := spanIDs[*ev.Span]; !ok {
+			t.Fatalf("journal %s event references span %v absent from trace", ev.Event, *ev.Span)
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("no journal events carried span IDs")
+	}
+}
+
+// The heartbeat line must report spans-in-flight and journal bytes
+// when those sinks are live, and omit the fields when they are not.
+func TestHeartbeatLineReportsTraceAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	tel, err := Start(Config{
+		TracePath:   filepath.Join(dir, "t.json"),
+		JournalPath: filepath.Join(dir, "j.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+
+	sp := tel.Tracer.StartSpan("suite", "suite", 0)
+	tel.Journal.Emit("suite_start", map[string]int{"jobs": 1})
+
+	var lastBranches uint64
+	last := time.Now().Add(-time.Second)
+	line := tel.heartbeatLine(&lastBranches, &last, time.Now())
+	if !strings.Contains(line, ", 1 spans") {
+		t.Fatalf("heartbeat missing spans-in-flight: %q", line)
+	}
+	if !strings.Contains(line, " journal") || strings.Contains(line, " 0 journal") {
+		t.Fatalf("heartbeat missing journal bytes: %q", line)
+	}
+	sp.End()
+
+	// Without trace/journal sinks the fields must be absent.
+	bare, err := Start(Config{Heartbeat: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	line = bare.heartbeatLine(&lastBranches, &last, time.Now())
+	if strings.Contains(line, "spans") || strings.Contains(line, "journal") {
+		t.Fatalf("bare heartbeat has trace/journal fields: %q", line)
+	}
+}
+
+// Closing a telemetry stack with an active tracer must seal the trace
+// file (valid JSON footer) and leak no goroutines — the flush path is
+// synchronous, so surviving goroutines mean a regression.
+func TestTracerShutdownLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	for i := 0; i < 10; i++ {
+		path := filepath.Join(dir, "t.json")
+		tel, err := Start(Config{TracePath: path, Heartbeat: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel.Tracer.StartSpan("suite", "suite", 0).End()
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("sealed trace is not valid JSON: %v\n%s", err, raw)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("tracer shutdown leaked goroutines: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
 }
 
 // Closing telemetry before the first heartbeat tick must reap the
