@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick microbench trace-smoke
+.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke
 
 all: check
 
@@ -45,6 +45,27 @@ trace-smoke:
 		-journal journal_ci_b.jsonl > /dev/null
 	$(GO) run ./cmd/journal summary journal_ci.jsonl
 	$(GO) run ./cmd/journal diff journal_ci.jsonl journal_ci_b.jsonl
+
+# Snapshot round-trip + bit-exact-resume smoke through cmd/bfsim: for
+# each headline predictor, a straight run must equal a split run — half
+# the trace with -checkpoint, then -resume with -skip to the checkpoint
+# branch. Branches and mispredicts are summed across the legs and
+# compared exactly (equal counters imply equal MPKI), so any snapshot
+# drift fails the target.
+snapshot-smoke:
+	@set -e; for p in bimodal gshare isl-tage-15 bf-neural bf-tage-10; do \
+		s=$$($(GO) run ./cmd/bfsim -p $$p -t INT1 -n 60000 -warmup 0 -csv | tail -1); \
+		a=$$($(GO) run ./cmd/bfsim -p $$p -t INT1 -n 30000 -warmup 0 -csv -checkpoint snap_ci.bin 2>/dev/null | tail -1); \
+		skip=$$(echo $$a | cut -d, -f3); \
+		b=$$($(GO) run ./cmd/bfsim -p $$p -t INT1 -n 60000 -warmup 0 -csv -resume snap_ci.bin -skip $$skip | tail -1); \
+		sb=$$(echo $$s | cut -d, -f3); sm=$$(echo $$s | cut -d, -f5); \
+		ab=$$(echo $$a | cut -d, -f3); am=$$(echo $$a | cut -d, -f5); \
+		bb=$$(echo $$b | cut -d, -f3); bm=$$(echo $$b | cut -d, -f5); \
+		if [ $$((ab+bb)) -ne $$sb ] || [ $$((am+bm)) -ne $$sm ]; then \
+			echo "snapshot-smoke: $$p drift: straight $$sb br/$$sm misp, split $$((ab+bb))/$$((am+bm))"; exit 1; \
+		fi; \
+		echo "snapshot-smoke: $$p ok ($$sb branches, $$sm mispredicts)"; \
+	done; rm -f snap_ci.bin
 
 # Go microbenchmarks (root package + engine/telemetry overhead).
 BENCHTIME ?= 1s

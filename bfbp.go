@@ -40,6 +40,7 @@ import (
 	"bfbp/internal/predictor/tournament"
 	"bfbp/internal/predictor/yags"
 	"bfbp/internal/sim"
+	"bfbp/internal/state"
 	"bfbp/internal/trace"
 	"bfbp/internal/workload"
 )
@@ -138,6 +139,48 @@ type (
 	// ComponentStat counts predictions attributed to one component.
 	ComponentStat = sim.ComponentStat
 )
+
+// State-snapshot types (bfbp.state.v1), re-exported from the harness
+// and internal/state. See DESIGN.md §State snapshots for the format.
+type (
+	// Snapshotter is the optional interface for predictors whose state
+	// serialises to the bfbp.state.v1 format and restores bit-exactly.
+	// Every registry predictor implements it.
+	Snapshotter = sim.Snapshotter
+	// CapabilitySet holds a predictor's optional interfaces, each nil
+	// when unimplemented.
+	CapabilitySet = sim.CapabilitySet
+	// SnapshotHeader is the identity header of a bfbp.state.v1 file:
+	// predictor name, config hash, and section directory.
+	SnapshotHeader = state.Header
+)
+
+// Typed snapshot errors, matchable with errors.Is on Snapshotter.LoadState
+// failures.
+var (
+	// ErrSnapshotBadMagic: the reader is not a bfbp.state snapshot.
+	ErrSnapshotBadMagic = state.ErrBadMagic
+	// ErrSnapshotVersion: the snapshot version is unsupported.
+	ErrSnapshotVersion = state.ErrVersion
+	// ErrSnapshotTruncated: the snapshot ended mid-structure.
+	ErrSnapshotTruncated = state.ErrTruncated
+	// ErrSnapshotCorrupt: a decoded value is structurally impossible.
+	ErrSnapshotCorrupt = state.ErrCorrupt
+	// ErrSnapshotPredictor: the snapshot names a different predictor.
+	ErrSnapshotPredictor = state.ErrPredictorMismatch
+	// ErrSnapshotConfig: the snapshot's config hash does not match the
+	// loading instance's configuration.
+	ErrSnapshotConfig = state.ErrConfigMismatch
+)
+
+// Capabilities probes p for every optional interface, replacing
+// scattered type asserts: branch on the returned struct's fields.
+func Capabilities(p Predictor) CapabilitySet { return sim.Capabilities(p) }
+
+// ReadSnapshotHeader reads just the identity header of a bfbp.state.v1
+// stream — enough to tell which predictor a checkpoint file belongs to
+// without decoding its payload.
+func ReadSnapshotHeader(r io.Reader) (SnapshotHeader, error) { return state.ReadHeader(r) }
 
 // MispredictCauses lists the misprediction taxonomy in classification
 // order.

@@ -9,6 +9,8 @@
 //	analyze -t SERV3 -p bf-neural -offenders 15           # worst PCs
 //	analyze -t SPEC06 -population                         # branch classes only
 //	analyze -t SERV1 -p tage-8,bf-tage-8 -explain         # provenance + paper-shape
+//	analyze -t SPEC03 -p bf-neural -warmstart             # cold vs warm MPKI curve
+//	analyze -t SPEC03 -p gshare -interference SERV1       # context-switch penalty
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"bfbp"
 	"bfbp/internal/analysis"
+	"bfbp/internal/experiments"
 	"bfbp/internal/sim"
 	"bfbp/internal/workload"
 )
@@ -32,6 +35,10 @@ func main() {
 		population = flag.Bool("population", false, "print the branch population summary and exit")
 		explain    = flag.Bool("explain", false, "decision provenance: cause taxonomy, component/bank attribution, paper-shape check")
 		explainNN  = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
+		warmstart  = flag.Bool("warmstart", false, "cold vs warm MPKI windows via a bfbp.state.v1 snapshot")
+		windows    = flag.Int("windows", 10, "window count for -warmstart")
+		interfere  = flag.String("interference", "", "second trace: context-switch interference between -t and this trace")
+		quantum    = flag.Int("quantum", 2000, "context-switch quantum in branches for -interference")
 	)
 	flag.Parse()
 
@@ -63,14 +70,33 @@ func main() {
 	if *preds == "" {
 		fatal(fmt.Errorf("need -p <predictors> (or -population)"))
 	}
-	names := strings.Split(*preds, ",")
-	var ps []sim.Predictor
-	for _, name := range names {
-		p, err := byName(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
+	infos, err := bfbp.SelectPredictors(*preds)
+	if err != nil {
+		fatal(err)
+	}
+	ps := make([]sim.Predictor, len(infos))
+	for i, info := range infos {
+		ps[i] = info.New()
+	}
+
+	if *warmstart || *interfere != "" {
+		cfg := experiments.DefaultConfig()
+		cfg.LongBranches, cfg.ShortBranches = *branches, *branches
+		for _, info := range infos {
+			var t experiments.Table
+			var err error
+			if *warmstart {
+				t, err = experiments.WarmStart(cfg, info.Spec(), spec.Name, *windows)
+			} else {
+				t, err = experiments.Interference(cfg, info.Spec(), spec.Name, *interfere, *quantum)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(t.Render())
+			fmt.Println()
 		}
-		ps = append(ps, p)
+		return
 	}
 
 	if *explain {
@@ -136,7 +162,7 @@ func explainRun(spec workload.Spec, branches int, sample uint64, ps []sim.Predic
 		}
 		fmt.Println()
 		in := analysis.ShapeInput{Name: p.Name(), Stats: st}
-		if br, ok := p.(sim.BankReacher); ok {
+		if br := sim.Capabilities(p).BankReach; br != nil {
 			in.Reach = br.BankReach()
 		}
 		shapes = append(shapes, in)
@@ -163,51 +189,6 @@ func shapePair(shapes []analysis.ShapeInput) (bf, base analysis.ShapeInput, ok b
 		}
 	}
 	return bf, base, haveBF && haveBase
-}
-
-// byName resolves bfsim-style predictor names via the public API.
-func byName(name string) (sim.Predictor, error) {
-	switch name {
-	case "bimodal":
-		return bfbp.NewBimodal(1 << 14), nil
-	case "gshare":
-		return bfbp.NewGShare(1<<16, 16), nil
-	case "local":
-		return bfbp.NewLocal(1<<12, 10, 1<<15), nil
-	case "tournament":
-		return bfbp.NewTournament(bfbp.Tournament64KB()), nil
-	case "yags":
-		return bfbp.NewYAGS(bfbp.YAGS64KB()), nil
-	case "filter":
-		return bfbp.NewFilter(bfbp.Filter64KB()), nil
-	case "o-gehl":
-		return bfbp.NewGEHL(bfbp.GEHL64KB()), nil
-	case "strided":
-		return bfbp.NewStrided(bfbp.Strided64KB()), nil
-	case "perceptron":
-		return bfbp.NewPerceptron(bfbp.Perceptron64KB()), nil
-	case "oh-snap":
-		return bfbp.NewOHSNAP(bfbp.OHSNAP64KB()), nil
-	case "bf-neural":
-		return bfbp.NewBFNeural(bfbp.BFNeural64KB()), nil
-	}
-	var n int
-	switch {
-	case scan(name, "isl-tage-%d", &n):
-		return bfbp.NewTAGE(bfbp.ISLTAGE(n)), nil
-	case scan(name, "tage-%d", &n):
-		return bfbp.NewTAGE(bfbp.TAGEBare(n)), nil
-	case scan(name, "bf-isl-tage-%d", &n):
-		return bfbp.NewBFTAGE(bfbp.BFISLTAGE(n)), nil
-	case scan(name, "bf-tage-%d", &n):
-		return bfbp.NewBFTAGE(bfbp.BFTAGEBare(n)), nil
-	}
-	return nil, fmt.Errorf("analyze: unknown predictor %q", name)
-}
-
-func scan(s, format string, n *int) bool {
-	c, err := fmt.Sscanf(s, format, n)
-	return err == nil && c == 1
 }
 
 func fatal(err error) {

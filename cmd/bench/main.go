@@ -107,13 +107,9 @@ func main() {
 		*runs = 1
 	}
 
-	var specs []bfbp.PredictorInfo
-	for _, name := range strings.Split(*preds, ",") {
-		info, err := bfbp.PredictorByName(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
-		}
-		specs = append(specs, info)
+	specs, err := bfbp.SelectPredictors(*preds)
+	if err != nil {
+		fatal(err)
 	}
 	var sources []bfbp.TraceSource
 	for _, name := range strings.Split(*traces, ",") {

@@ -19,6 +19,12 @@
 //	bfsim -p bf-neural -storage                  # storage budget only
 //	bfsim -list                                  # available predictors
 //
+// Predictor state snapshots (bfbp.state.v1) checkpoint and resume runs:
+//
+//	bfsim -p bf-neural -t SPEC03 -checkpoint s.state             # save at run end
+//	bfsim ... -checkpoint s.state -checkpoint-every 100000       # also periodically
+//	bfsim -p bf-neural -t SPEC03 -resume s.state -skip 100000    # continue from it
+//
 // Long suite runs can be observed live:
 //
 //	bfsim -p all-suite... -metrics-addr :8080    # /metrics, /debug/vars, /debug/pprof
@@ -37,6 +43,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -47,6 +54,7 @@ import (
 	"bfbp"
 	"bfbp/internal/analysis"
 	"bfbp/internal/prof"
+	"bfbp/internal/sim"
 	"bfbp/internal/telemetry"
 	"bfbp/internal/trace"
 )
@@ -70,6 +78,11 @@ func main() {
 		storage   = flag.Bool("storage", false, "print the storage budget and exit")
 		list      = flag.Bool("list", false, "list available predictor names")
 
+		checkpointPath  = flag.String("checkpoint", "", "write a bfbp.state.v1 predictor snapshot here at run end")
+		checkpointEvery = flag.Uint64("checkpoint-every", 0, "with -checkpoint, also snapshot every N branches (overwrites the file)")
+		resumePath      = flag.String("resume", "", "load a bfbp.state.v1 predictor snapshot before the run")
+		skip            = flag.Int("skip", 0, "discard the first N trace records (fast-forward a resumed trace)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
@@ -81,25 +94,26 @@ func main() {
 
 	if *list {
 		for _, info := range bfbp.Predictors() {
-			fmt.Printf("%-20s %s\n", info.Name, info.Description)
+			fmt.Printf("%-20s %-62s [%s]\n", info.Name, info.Description,
+				strings.Join(info.Capabilities().Names(), " "))
 		}
 		return
 	}
 
-	var specs []bfbp.PredictorSpec
-	for _, name := range strings.Split(*preds, ",") {
-		info, err := bfbp.PredictorByName(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
-		}
-		specs = append(specs, info.Spec())
+	infos, err := bfbp.SelectPredictors(*preds)
+	if err != nil {
+		fatal(err)
+	}
+	specs := make([]bfbp.PredictorSpec, len(infos))
+	for i, info := range infos {
+		specs[i] = info.Spec()
 	}
 
 	if *storage {
 		for _, spec := range specs {
 			p := spec.New()
-			if sa, ok := p.(bfbp.StorageAccounter); ok {
-				fmt.Print(sa.Storage().String())
+			if caps := bfbp.Capabilities(p); caps.Storage != nil {
+				fmt.Print(caps.Storage.Storage().String())
 			} else {
 				fmt.Printf("%s: no storage accounting\n", p.Name())
 			}
@@ -110,6 +124,39 @@ func main() {
 	sources, defaultWarm, err := traceSources(*traceFile, *traceName, *branches)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *checkpointPath != "" || *resumePath != "" || *skip > 0 {
+		if len(specs) != 1 || len(sources) != 1 {
+			fatal(fmt.Errorf("-checkpoint/-resume/-skip need exactly one predictor and one trace"))
+		}
+		if *delay != 0 && *checkpointPath != "" {
+			fatal(fmt.Errorf("-checkpoint requires -delay 0: snapshots must be quiescent"))
+		}
+	}
+	if *checkpointEvery > 0 && *checkpointPath == "" {
+		fatal(fmt.Errorf("-checkpoint-every needs -checkpoint <path>"))
+	}
+	if *resumePath != "" {
+		// Validate the file and predictor support up front, then rebuild
+		// the spec so every fresh instance starts from the snapshot.
+		if err := loadSnapshot(specs[0].New(), *resumePath); err != nil {
+			fatal(err)
+		}
+		orig, path := specs[0].New, *resumePath
+		specs[0].New = func() bfbp.Predictor {
+			p := orig()
+			if err := loadSnapshot(p, path); err != nil {
+				fatal(err)
+			}
+			return p
+		}
+	}
+	if *skip > 0 {
+		src, n := sources[0], *skip
+		sources[0] = bfbp.FuncSource{Label: src.Name(), OpenFn: func() bfbp.TraceReader {
+			return trace.Skip(src.Open(), n)
+		}}
 	}
 
 	warm := uint64(defaultWarm)
@@ -146,6 +193,19 @@ func main() {
 		},
 	}
 	tel.Attach(&eng)
+	if *checkpointEvery > 0 {
+		path, tname, pname := *checkpointPath, sources[0].Name(), specs[0].Name
+		jr := tel.RunJournal()
+		eng.Options.CheckpointEvery = *checkpointEvery
+		eng.Options.CheckpointFn = func(p bfbp.Predictor, branches uint64) error {
+			n, err := saveSnapshot(p, path)
+			if err != nil {
+				return err
+			}
+			sim.JournalCheckpoint(jr, tname, pname, path, branches, n, 0)
+			return nil
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	results, err := eng.Run(ctx, bfbp.Matrix(sources, specs, eng.Options))
@@ -154,6 +214,17 @@ func main() {
 		// partial timeline still loads cleanly (fatal skips defers).
 		tel.Close()
 		fatal(err)
+	}
+	if *checkpointPath != "" {
+		n, err := saveSnapshot(results[0].Instance, *checkpointPath)
+		if err != nil {
+			tel.Close()
+			fatal(err)
+		}
+		sim.JournalCheckpoint(tel.RunJournal(), sources[0].Name(), specs[0].Name,
+			*checkpointPath, results[0].Stats.Branches, n, 0)
+		fmt.Fprintf(os.Stderr, "bfsim: checkpoint %s (%d bytes, branch %d)\n",
+			*checkpointPath, n, results[0].Stats.Branches)
 	}
 	if err := tel.Close(); err != nil {
 		fatal(err)
@@ -234,7 +305,7 @@ func printText(results []bfbp.RunResult, showTrace bool, offenders int, tableHit
 			}
 		}
 		if tableHits {
-			if th, ok := r.Instance.(bfbp.TableHitReporter); ok {
+			if th := bfbp.Capabilities(r.Instance).TableHits; th != nil {
 				hits := th.TableHits()
 				var total uint64
 				for _, h := range hits {
@@ -261,6 +332,38 @@ func indent(s string) string {
 		}
 	}
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// saveSnapshot serialises p into a bfbp.state.v1 file at path. The
+// whole snapshot is built in memory first so a failed save never
+// leaves a truncated file behind.
+func saveSnapshot(p bfbp.Predictor, path string) (int, error) {
+	snap := bfbp.Capabilities(p).Snapshot
+	if snap == nil {
+		return 0, fmt.Errorf("%T does not support snapshots", p)
+	}
+	var buf bytes.Buffer
+	if err := snap.SaveState(&buf); err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}
+
+// loadSnapshot restores p from a bfbp.state.v1 file at path.
+func loadSnapshot(p bfbp.Predictor, path string) error {
+	snap := bfbp.Capabilities(p).Snapshot
+	if snap == nil {
+		return fmt.Errorf("%T does not support snapshots", p)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return snap.LoadState(f)
 }
 
 func fatal(err error) {

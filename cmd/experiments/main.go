@@ -173,12 +173,12 @@ func main() {
 func runSuite(cfg experiments.Config, predNames string, jsonOut bool) {
 	preds := experiments.SuitePredictors()
 	if predNames != "" {
+		infos, err := bfbp.SelectPredictors(predNames)
+		if err != nil {
+			fatal(err)
+		}
 		preds = preds[:0]
-		for _, name := range strings.Split(predNames, ",") {
-			info, err := bfbp.PredictorByName(strings.TrimSpace(name))
-			if err != nil {
-				fatal(err)
-			}
+		for _, info := range infos {
 			preds = append(preds, info.Spec())
 		}
 	}

@@ -1,0 +1,76 @@
+package counters
+
+import (
+	"fmt"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/state"
+)
+
+// SaveSigned appends a signed counter bank's values to a snapshot
+// section. Widths are configuration rebuilt by the constructor.
+func SaveSigned(e *state.Enc, bank []Signed) {
+	vals := make([]int32, len(bank))
+	for i := range bank {
+		vals[i] = bank[i].Value()
+	}
+	e.I32s(vals)
+}
+
+// LoadSigned restores a signed counter bank saved by SaveSigned.
+// Values saturate into each counter's range.
+func LoadSigned(d *state.Dec, bank []Signed) error {
+	vals := d.I32s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(vals) != len(bank) {
+		return fmt.Errorf("%w: counter bank has %d entries, snapshot %d", state.ErrCorrupt, len(bank), len(vals))
+	}
+	for i := range bank {
+		bank[i].Set(vals[i])
+	}
+	return nil
+}
+
+// SaveUnsigned appends an unsigned counter bank's values.
+func SaveUnsigned(e *state.Enc, bank []Unsigned) {
+	vals := make([]uint32, len(bank))
+	for i := range bank {
+		vals[i] = bank[i].Value()
+	}
+	e.U32s(vals)
+}
+
+// LoadUnsigned restores an unsigned counter bank saved by SaveUnsigned.
+func LoadUnsigned(d *state.Dec, bank []Unsigned) error {
+	vals := d.U32s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(vals) != len(bank) {
+		return fmt.Errorf("%w: counter bank has %d entries, snapshot %d", state.ErrCorrupt, len(bank), len(vals))
+	}
+	for i := range bank {
+		bank[i].Set(vals[i])
+	}
+	return nil
+}
+
+// Raw returns the probabilistic counter's current value for snapshot
+// serialisation. Width, growth, and RNG wiring are configuration that
+// the owning table's constructor rebuilds.
+func (c *Probabilistic) Raw() uint32 { return c.v }
+
+// SetRaw restores a snapshotted counter value, saturating at the
+// counter's maximum so corrupt input cannot create unreachable states.
+func (c *Probabilistic) SetRaw(v uint32) {
+	if v > c.max {
+		v = c.max
+	}
+	c.v = v
+}
+
+// RNG exposes the generator this counter draws from. Counter banks share
+// one generator, so snapshot writers capture its state once per bank.
+func (c *Probabilistic) RNG() *rng.SplitMix64 { return c.rng }

@@ -1,0 +1,45 @@
+// Snapshot support (bfbp.state.v1): the counter table is the only
+// mutable state.
+
+package bimodal
+
+import (
+	"io"
+
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("bimodal")
+	h.Int(len(p.table))
+	h.Int(p.width)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	s := state.New(p.Name(), p.configHash())
+	counters.SaveSigned(s.Section("pht"), p.table)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	d, err := s.Dec("pht")
+	if err != nil {
+		return err
+	}
+	if err := counters.LoadSigned(d, p.table); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

@@ -1,0 +1,72 @@
+// Snapshot support (bfbp.state.v1): mutable state is the run-length
+// filter entries, the PHT, and the history register.
+
+package filter
+
+import (
+	"io"
+
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("filter")
+	h.String(p.cfg.Name)
+	h.Int(p.cfg.FilterEntries)
+	h.Int(p.cfg.FilterBits)
+	h.Int(p.cfg.PHTEntries)
+	h.Int(p.cfg.HistBits)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	s := state.New(p.Name(), p.configHash())
+	fe := s.Section("filter")
+	for i := range p.entries {
+		fe.Bool(p.entries[i].dir)
+		fe.U32(p.entries[i].run.Value())
+		fe.Bool(p.entries[i].valid)
+	}
+	counters.SaveSigned(s.Section("pht"), p.pht)
+	s.Section("ghr").U64(p.ghr)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	fd, err := s.Dec("filter")
+	if err != nil {
+		return err
+	}
+	for i := range p.entries {
+		p.entries[i].dir = fd.Bool()
+		p.entries[i].run.Set(fd.U32())
+		p.entries[i].valid = fd.Bool()
+	}
+	if err := fd.Err(); err != nil {
+		return err
+	}
+	pd, err := s.Dec("pht")
+	if err != nil {
+		return err
+	}
+	if err := counters.LoadSigned(pd, p.pht); err != nil {
+		return err
+	}
+	g, err := s.Dec("ghr")
+	if err != nil {
+		return err
+	}
+	p.ghr = g.U64()
+	return g.Err()
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

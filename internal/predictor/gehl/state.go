@@ -1,0 +1,96 @@
+// Snapshot support (bfbp.state.v1). Mutable state: the weight tables,
+// the fold set (ring + fold registers), and the adaptive threshold.
+
+package gehl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("gehl")
+	h.String(p.cfg.Name)
+	h.Int(p.cfg.Tables)
+	h.Int(p.cfg.LogEntries)
+	h.Int(p.cfg.MinHist)
+	h.Int(p.cfg.MaxHist)
+	h.Int(p.cfg.CounterBits)
+	h.Bool(p.cfg.AdaptiveTheta)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	if len(p.pending) != 0 {
+		return errors.New("gehl: cannot snapshot with in-flight predictions")
+	}
+	s := state.New(p.Name(), p.configHash())
+	te := s.Section("tables")
+	te.U32(uint32(len(p.tables)))
+	for _, t := range p.tables {
+		te.I8s(t)
+	}
+	p.folds.SaveState(s.Section("history"))
+	m := s.Section("misc")
+	m.I32(p.theta)
+	m.I32(p.tc)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	td, err := s.Dec("tables")
+	if err != nil {
+		return err
+	}
+	n := int(td.U32())
+	if err := td.Err(); err != nil {
+		return err
+	}
+	if n != len(p.tables) {
+		return fmt.Errorf("%w: predictor has %d tables, snapshot %d", state.ErrCorrupt, len(p.tables), n)
+	}
+	fresh := make([][]int8, n)
+	for i := range fresh {
+		fresh[i] = td.I8s()
+		if err := td.Err(); err != nil {
+			return err
+		}
+		if len(fresh[i]) != len(p.tables[i]) {
+			return fmt.Errorf("%w: table %d has %d entries, snapshot %d", state.ErrCorrupt, i, len(p.tables[i]), len(fresh[i]))
+		}
+	}
+	hd, err := s.Dec("history")
+	if err != nil {
+		return err
+	}
+	if err := p.folds.LoadState(hd); err != nil {
+		return err
+	}
+	m, err := s.Dec("misc")
+	if err != nil {
+		return err
+	}
+	p.theta = m.I32()
+	p.tc = m.I32()
+	if err := m.Err(); err != nil {
+		return err
+	}
+	for i := range p.tables {
+		copy(p.tables[i], fresh[i])
+	}
+	p.pending = p.pending[:0]
+	return nil
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

@@ -1,0 +1,52 @@
+// Snapshot support (bfbp.state.v1): mutable state is the PHT and the
+// global history register.
+
+package gshare
+
+import (
+	"io"
+
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("gshare")
+	h.Int(len(p.table))
+	h.Int(p.histBits)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	s := state.New(p.Name(), p.configHash())
+	e := s.Section("pht")
+	counters.SaveSigned(e, p.table)
+	s.Section("ghr").U64(p.ghr)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	d, err := s.Dec("pht")
+	if err != nil {
+		return err
+	}
+	if err := counters.LoadSigned(d, p.table); err != nil {
+		return err
+	}
+	g, err := s.Dec("ghr")
+	if err != nil {
+		return err
+	}
+	p.ghr = g.U64()
+	return g.Err()
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

@@ -1,0 +1,92 @@
+// Snapshot support (bfbp.state.v1). Mutable state: the sampled weight
+// tables, bias weights, the history ring, and the adaptive threshold.
+// The checkpoint FIFO and index scratch buffers are transient.
+
+package strided
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("strided")
+	h.String(p.cfg.Name)
+	h.Ints(p.offsets)
+	h.Int(p.cfg.TableRows)
+	h.Int(p.cfg.BiasEntries)
+	h.Bool(p.cfg.AdaptiveTheta)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	if len(p.pending) != 0 {
+		return errors.New("strided: cannot snapshot with in-flight predictions")
+	}
+	s := state.New(p.Name(), p.configHash())
+	s.Section("weights").I8s(p.weights)
+	s.Section("bias").I8s(p.bias)
+	p.ring.SaveState(s.Section("history"))
+	m := s.Section("misc")
+	m.I32(p.theta)
+	m.I32(p.tc)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	wd, err := s.Dec("weights")
+	if err != nil {
+		return err
+	}
+	weights := wd.I8s()
+	if err := wd.Err(); err != nil {
+		return err
+	}
+	if len(weights) != len(p.weights) {
+		return fmt.Errorf("%w: weight table has %d entries, snapshot %d", state.ErrCorrupt, len(p.weights), len(weights))
+	}
+	bd, err := s.Dec("bias")
+	if err != nil {
+		return err
+	}
+	bias := bd.I8s()
+	if err := bd.Err(); err != nil {
+		return err
+	}
+	if len(bias) != len(p.bias) {
+		return fmt.Errorf("%w: bias table has %d entries, snapshot %d", state.ErrCorrupt, len(p.bias), len(bias))
+	}
+	hd, err := s.Dec("history")
+	if err != nil {
+		return err
+	}
+	if err := p.ring.LoadState(hd); err != nil {
+		return err
+	}
+	m, err := s.Dec("misc")
+	if err != nil {
+		return err
+	}
+	p.theta = m.I32()
+	p.tc = m.I32()
+	if err := m.Err(); err != nil {
+		return err
+	}
+	copy(p.weights, weights)
+	copy(p.bias, bias)
+	p.pending = p.pending[:0]
+	return nil
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

@@ -1,0 +1,81 @@
+// Snapshot support (bfbp.state.v1): mutable state is the local history
+// table, the three counter banks, and the global history register.
+
+package tournament
+
+import (
+	"fmt"
+	"io"
+
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("tournament")
+	h.String(p.cfg.Name)
+	h.Int(p.cfg.LocalHistEntries)
+	h.Int(p.cfg.LocalHistBits)
+	h.Int(p.cfg.LocalPHTEntries)
+	h.Int(p.cfg.GlobalEntries)
+	h.Int(p.cfg.GlobalHistBits)
+	h.Int(p.cfg.ChooserEntries)
+	return h.Sum()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	s := state.New(p.Name(), p.configHash())
+	s.Section("local_hist").U32s(p.localHist)
+	counters.SaveSigned(s.Section("local_pht"), p.localPHT)
+	counters.SaveSigned(s.Section("global_pht"), p.global)
+	counters.SaveSigned(s.Section("chooser"), p.chooser)
+	s.Section("ghr").U64(p.ghr)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	d, err := s.Dec("local_hist")
+	if err != nil {
+		return err
+	}
+	hist := d.U32s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(hist) != len(p.localHist) {
+		return fmt.Errorf("%w: local history table has %d entries, snapshot %d", state.ErrCorrupt, len(p.localHist), len(hist))
+	}
+	for name, bank := range map[string][]counters.Signed{
+		"local_pht":  p.localPHT,
+		"global_pht": p.global,
+		"chooser":    p.chooser,
+	} {
+		bd, err := s.Dec(name)
+		if err != nil {
+			return err
+		}
+		if err := counters.LoadSigned(bd, bank); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	g, err := s.Dec("ghr")
+	if err != nil {
+		return err
+	}
+	p.ghr = g.U64()
+	if err := g.Err(); err != nil {
+		return err
+	}
+	copy(p.localHist, hist)
+	return nil
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

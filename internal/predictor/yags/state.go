@@ -1,0 +1,83 @@
+// Snapshot support (bfbp.state.v1): mutable state is the choice PHT,
+// the two tagged exception caches, and the history register.
+
+package yags
+
+import (
+	"fmt"
+	"io"
+
+	"bfbp/internal/counters"
+	"bfbp/internal/sim"
+	"bfbp/internal/state"
+)
+
+func (p *Predictor) configHash() uint64 {
+	h := state.NewHash("yags")
+	h.String(p.cfg.Name)
+	h.Int(p.cfg.ChoiceEntries)
+	h.Int(p.cfg.CacheEntries)
+	h.Int(p.cfg.TagBits)
+	h.Int(p.cfg.HistBits)
+	return h.Sum()
+}
+
+func saveCache(e *state.Enc, cache []cacheEntry) {
+	for i := range cache {
+		e.U16(cache[i].tag)
+		e.I32(cache[i].ctr.Value())
+		e.Bool(cache[i].valid)
+	}
+}
+
+func loadCache(d *state.Dec, cache []cacheEntry) error {
+	for i := range cache {
+		cache[i].tag = d.U16()
+		cache[i].ctr.Set(d.I32())
+		cache[i].valid = d.Bool()
+	}
+	return d.Err()
+}
+
+// SaveState implements sim.Snapshotter.
+func (p *Predictor) SaveState(w io.Writer) error {
+	s := state.New(p.Name(), p.configHash())
+	counters.SaveSigned(s.Section("choice"), p.choice)
+	saveCache(s.Section("t_cache"), p.tCache)
+	saveCache(s.Section("nt_cache"), p.ntCache)
+	s.Section("ghr").U64(p.ghr)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// LoadState implements sim.Snapshotter.
+func (p *Predictor) LoadState(r io.Reader) error {
+	s, err := state.Load(r, p.Name(), p.configHash())
+	if err != nil {
+		return err
+	}
+	cd, err := s.Dec("choice")
+	if err != nil {
+		return err
+	}
+	if err := counters.LoadSigned(cd, p.choice); err != nil {
+		return err
+	}
+	for name, cache := range map[string][]cacheEntry{"t_cache": p.tCache, "nt_cache": p.ntCache} {
+		d, err := s.Dec(name)
+		if err != nil {
+			return err
+		}
+		if err := loadCache(d, cache); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	g, err := s.Dec("ghr")
+	if err != nil {
+		return err
+	}
+	p.ghr = g.U64()
+	return g.Err()
+}
+
+var _ sim.Snapshotter = (*Predictor)(nil)

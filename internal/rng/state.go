@@ -1,0 +1,9 @@
+package rng
+
+// State returns the generator's internal state word for snapshot
+// serialisation.
+func (r *SplitMix64) State() uint64 { return r.state }
+
+// SetState restores a previously captured state word, resuming the
+// stream at exactly the same position.
+func (r *SplitMix64) SetState(s uint64) { r.state = s }

@@ -1,0 +1,104 @@
+// Snapshot support (bfbp.state.v1). A cam serialises its live entries
+// in recency order and rebuilds by replaying them oldest-first, so the
+// restored intrusive list iterates identically to the saved one; slot
+// numbering and hash-index layout are unobservable implementation
+// detail and are free to differ.
+
+package rs
+
+import (
+	"fmt"
+
+	"bfbp/internal/state"
+)
+
+// save appends the cam's live entries, most recent first.
+func (c *cam) save(e *state.Enc) {
+	e.U32(uint32(c.n))
+	for s := c.head; s != camNil; s = c.next[s] {
+		e.U64(c.pc[s])
+		e.Bool(c.taken[s])
+		e.U64(c.seq[s])
+	}
+}
+
+// load rebuilds the cam from a saved entry list.
+func (c *cam) load(d *state.Dec) error {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > len(c.pc) {
+		return fmt.Errorf("%w: cam holds %d slots, snapshot has %d entries", state.ErrCorrupt, len(c.pc), n)
+	}
+	pcs := make([]uint64, n)
+	taken := make([]bool, n)
+	seqs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pcs[i] = d.U64()
+		taken[i] = d.Bool()
+		seqs[i] = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	fresh := newCam(len(c.pc))
+	for i := n - 1; i >= 0; i-- {
+		if fresh.lookup(pcs[i]) != camNil {
+			return fmt.Errorf("%w: duplicate cam pc %#x", state.ErrCorrupt, pcs[i])
+		}
+		fresh.push(pcs[i], taken[i], seqs[i])
+	}
+	*c = fresh
+	return nil
+}
+
+// SaveState appends the stack's position counter and live entries to a
+// snapshot section. Depth and distance width are configuration.
+func (s *Stack) SaveState(e *state.Enc) {
+	e.U64(s.seq)
+	s.c.save(e)
+}
+
+// LoadState restores a stack saved by SaveState into one of the same
+// depth.
+func (s *Stack) LoadState(d *state.Dec) error {
+	s.seq = d.U64()
+	return s.c.load(d)
+}
+
+// SaveState appends the segmented stack's position counter, unfiltered
+// ring, and every segment's entries. The packed BF-GHR contribution is
+// derived state and is rebuilt lazily after load.
+func (s *Segmented) SaveState(e *state.Enc) {
+	e.U64(s.seq)
+	s.ring.SaveState(e)
+	e.U32(uint32(len(s.segs)))
+	for i := range s.segs {
+		s.segs[i].c.save(e)
+	}
+}
+
+// LoadState restores a segmented stack saved by SaveState into one
+// built with the same bounds and segment size.
+func (s *Segmented) LoadState(d *state.Dec) error {
+	s.seq = d.U64()
+	if err := s.ring.LoadState(d); err != nil {
+		return err
+	}
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(s.segs) {
+		return fmt.Errorf("%w: segmented stack has %d segments, snapshot %d", state.ErrCorrupt, len(s.segs), n)
+	}
+	for i := range s.segs {
+		if err := s.segs[i].c.load(d); err != nil {
+			return err
+		}
+		s.segs[i].dirty = true
+		s.segs[i].takenBits, s.segs[i].pcBits = 0, 0
+	}
+	return d.Err()
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "bfbp/internal/obs"
+
+// journalCheckpoint is the bfbp.journal.v1 payload for a predictor state
+// snapshot written mid-run (Options.CheckpointEvery) or at run end.
+type journalCheckpoint struct {
+	Trace     string `json:"trace"`
+	Predictor string `json:"predictor"`
+	Path      string `json:"path"`
+	Branch    uint64 `json:"branch"`
+	Bytes     int    `json:"bytes"`
+	Span      uint64 `json:"span,omitempty"`
+}
+
+// JournalCheckpoint emits a checkpoint event: a bfbp.state.v1 snapshot of
+// predictor was written to path after branch committed branches, bytes
+// long. Span joins the event to its bfbp.trace.v1 timeline slice (0 when
+// tracing is off). Nil-safe on j.
+func JournalCheckpoint(j *obs.Journal, traceName, predictor, path string, branch uint64, bytes int, span uint64) {
+	if j == nil {
+		return
+	}
+	j.Emit("checkpoint", journalCheckpoint{
+		Trace:     traceName,
+		Predictor: predictor,
+		Path:      path,
+		Branch:    branch,
+		Bytes:     bytes,
+		Span:      span,
+	})
+}

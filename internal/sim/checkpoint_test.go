@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"bfbp/internal/trace"
+)
+
+func checkpointTrace(n int) trace.Slice {
+	tr := make(trace.Slice, n)
+	for i := range tr {
+		tr[i] = trace.Record{PC: uint64(i % 37), Taken: i%5 != 0, Instret: 1}
+	}
+	return tr
+}
+
+func TestCheckpointHookFires(t *testing.T) {
+	tr := checkpointTrace(20000)
+	var at []uint64
+	_, err := Run(&StaticPredictor{Direction: true}, tr.Stream(), Options{
+		CheckpointEvery: 5000,
+		CheckpointFn: func(p Predictor, branches uint64) error {
+			if p == nil {
+				t.Fatal("nil predictor passed to CheckpointFn")
+			}
+			at = append(at, branches)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hook fires at batch boundaries, so positions are quantised up
+	// to the next multiple of runBatchSize past each 5000-branch mark.
+	want := []uint64{8192, 12288, 16384, 20000}
+	if len(at) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("hook fired at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestCheckpointRequiresFn(t *testing.T) {
+	tr := checkpointTrace(10)
+	_, err := Run(&StaticPredictor{}, tr.Stream(), Options{CheckpointEvery: 5})
+	if err == nil {
+		t.Fatal("CheckpointEvery without CheckpointFn did not error")
+	}
+}
+
+func TestCheckpointRejectsDelayedUpdates(t *testing.T) {
+	tr := checkpointTrace(10)
+	_, err := Run(&StaticPredictor{}, tr.Stream(), Options{
+		CheckpointEvery: 5,
+		CheckpointFn:    func(Predictor, uint64) error { return nil },
+		UpdateDelay:     3,
+	})
+	if err == nil {
+		t.Fatal("CheckpointEvery with UpdateDelay did not error")
+	}
+}

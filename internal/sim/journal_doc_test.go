@@ -93,6 +93,7 @@ func TestJournalPayloadsCarrySpanTag(t *testing.T) {
 		"worker_state":          journalWorkerState{},
 		"provenance":            journalProvenance{},
 		"component_attribution": journalComponentAttribution{},
+		"checkpoint":            journalCheckpoint{},
 	}
 	for _, k := range JournalEventKinds() {
 		if _, ok := payloads[k]; !ok {

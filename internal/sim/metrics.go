@@ -322,7 +322,7 @@ func JournalEventKinds() []string {
 		"suite_start", "suite_finish",
 		"run_start", "run_finish", "run_error",
 		"window", "table_hits", "storage", "worker_state",
-		"provenance", "component_attribution",
+		"provenance", "component_attribution", "checkpoint",
 	}
 }
 

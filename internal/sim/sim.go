@@ -267,6 +267,17 @@ type Options struct {
 	// up to a power of two (0 means every 64). Attribution and taxonomy
 	// always cover every post-warmup branch; only margins are sampled.
 	ExplainEvery uint64
+	// CheckpointEvery, when non-zero, invokes CheckpointFn at the first
+	// batch boundary at or after every CheckpointEvery branches. Batches
+	// are runBatchSize records, so the actual checkpoint positions are
+	// quantised to that granularity; CheckpointFn receives the exact
+	// branch count. Requires UpdateDelay == 0: snapshots must be taken at
+	// quiescent points, with no prediction awaiting its update.
+	CheckpointEvery uint64
+	// CheckpointFn receives the predictor at each checkpoint boundary
+	// (typically to SaveState it somewhere). A non-nil error aborts the
+	// run. Must be set when CheckpointEvery is non-zero.
+	CheckpointFn func(p Predictor, branches uint64) error
 	// TraceSpan, when non-nil, is the parent execution span under which
 	// RunContext records its timeline: one "batch" span per record
 	// batch, a "drain" span for the delayed-update flush, and — when a
@@ -306,6 +317,13 @@ const runBatchSize = 4096
 // update queue is a fixed ring.
 func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (Stats, error) {
 	stats := Stats{Window: opt.Window}
+	if opt.CheckpointEvery > 0 && opt.CheckpointFn == nil {
+		return stats, errors.New("sim: CheckpointEvery set without CheckpointFn")
+	}
+	if opt.CheckpointEvery > 0 && opt.UpdateDelay > 0 {
+		return stats, errors.New("sim: checkpointing requires immediate updates (UpdateDelay 0): snapshots must be quiescent")
+	}
+	nextCkpt := opt.CheckpointEvery
 	if opt.PerPC {
 		stats.perPC = make(map[uint64]*pcStat)
 	}
@@ -433,6 +451,19 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 			}
 		}
 		bsp.Attr("records", n).End()
+		// Checkpoints land on batch boundaries: every prediction issued so
+		// far has been trained, so Snapshotter predictors are quiescent.
+		if nextCkpt > 0 && stats.Branches >= nextCkpt {
+			csp := sp.Child("checkpoint", "checkpoint")
+			err := opt.CheckpointFn(p, stats.Branches)
+			csp.End()
+			if err != nil {
+				return stats, fmt.Errorf("sim: checkpoint at branch %d: %w", stats.Branches, err)
+			}
+			for nextCkpt <= stats.Branches {
+				nextCkpt += opt.CheckpointEvery
+			}
+		}
 	}
 	if dqLen > 0 {
 		dsp := sp.Child("drain", "drain").Attr("pending", dqLen)

@@ -1,0 +1,279 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// sample builds a snapshot exercising every primitive the codec offers.
+func sample() *Snapshot {
+	s := New("demo-pred", 0xDEADBEEFCAFE)
+	e := s.Section("scalars")
+	e.U8(7)
+	e.U16(0x1234)
+	e.U32(0xDEADBEEF)
+	e.U64(1<<63 | 5)
+	e.I8(-3)
+	e.I32(-70000)
+	e.I64(-1 << 40)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello")
+	e.Bytes([]byte{0, 1, 2})
+	v := s.Section("vectors")
+	v.I8s([]int8{-1, 0, 1, 127, -128})
+	v.I32s([]int32{-5, 6})
+	v.U32s([]uint32{9, 10, 11})
+	v.U64s([]uint64{1 << 50})
+	v.Bools([]bool{true, false, true, true, false, false, true, false, true})
+	s.Section("empty")
+	return s
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw := encode(t, sample())
+	s, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if s.Predictor != "demo-pred" || s.ConfigHash != 0xDEADBEEFCAFE {
+		t.Fatalf("identity: %q %#x", s.Predictor, s.ConfigHash)
+	}
+	if got := strings.Join(s.Sections(), ","); got != "scalars,vectors,empty" {
+		t.Fatalf("section order: %s", got)
+	}
+	d, err := s.Dec("scalars")
+	if err != nil {
+		t.Fatalf("Dec: %v", err)
+	}
+	if d.U8() != 7 || d.U16() != 0x1234 || d.U32() != 0xDEADBEEF || d.U64() != 1<<63|5 {
+		t.Fatal("unsigned scalars mismatch")
+	}
+	if d.I8() != -3 || d.I32() != -70000 || d.I64() != -1<<40 || d.Int() != -42 {
+		t.Fatal("signed scalars mismatch")
+	}
+	if d.Bool() != true || d.Bool() != false {
+		t.Fatal("bools mismatch")
+	}
+	if d.String() != "hello" || !bytes.Equal(d.Bytes(), []byte{0, 1, 2}) {
+		t.Fatal("string/bytes mismatch")
+	}
+	if d.Remaining() != 0 || d.Err() != nil {
+		t.Fatalf("scalars leftover %d err %v", d.Remaining(), d.Err())
+	}
+	vd, err := s.Dec("vectors")
+	if err != nil {
+		t.Fatalf("Dec vectors: %v", err)
+	}
+	i8 := vd.I8s()
+	if len(i8) != 5 || i8[3] != 127 || i8[4] != -128 {
+		t.Fatalf("I8s: %v", i8)
+	}
+	if i32 := vd.I32s(); len(i32) != 2 || i32[0] != -5 {
+		t.Fatalf("I32s: %v", i32)
+	}
+	if u32 := vd.U32s(); len(u32) != 3 || u32[2] != 11 {
+		t.Fatalf("U32s: %v", u32)
+	}
+	if u64 := vd.U64s(); len(u64) != 1 || u64[0] != 1<<50 {
+		t.Fatalf("U64s: %v", u64)
+	}
+	bs := vd.Bools()
+	want := []bool{true, false, true, true, false, false, true, false, true}
+	if len(bs) != len(want) {
+		t.Fatalf("Bools len %d", len(bs))
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("Bools[%d] = %v", i, bs[i])
+		}
+	}
+	if vd.Err() != nil || vd.Remaining() != 0 {
+		t.Fatalf("vectors: err %v leftover %d", vd.Err(), vd.Remaining())
+	}
+}
+
+// TestByteStable pins the core format contract: decoding a snapshot and
+// re-encoding it reproduces the exact original bytes.
+func TestByteStable(t *testing.T) {
+	raw := encode(t, sample())
+	s, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	again := encode(t, s)
+	if !bytes.Equal(raw, again) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(raw), len(again))
+	}
+}
+
+func TestReadHeader(t *testing.T) {
+	raw := encode(t, sample())
+	h, err := ReadHeader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if h.Version != Version || h.Predictor != "demo-pred" || h.ConfigHash != 0xDEADBEEFCAFE || h.Sections != 3 {
+		t.Fatalf("header: %+v", h)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	raw := encode(t, sample())
+	if _, err := Load(bytes.NewReader(raw), "demo-pred", 0xDEADBEEFCAFE); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := Load(bytes.NewReader(raw), "other", 0xDEADBEEFCAFE); !errors.Is(err, ErrPredictorMismatch) {
+		t.Fatalf("want ErrPredictorMismatch, got %v", err)
+	}
+	if _, err := Load(bytes.NewReader(raw), "demo-pred", 1); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("want ErrConfigMismatch, got %v", err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	raw := encode(t, sample())
+
+	// Truncation at every prefix length fails with a typed error and
+	// never panics.
+	for n := 0; n < len(raw); n++ {
+		_, err := Read(bytes.NewReader(raw[:n]))
+		if err == nil {
+			t.Fatalf("truncated to %d bytes decoded successfully", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d: untyped error %v", n, err)
+		}
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+
+	ver := append([]byte(nil), raw...)
+	ver[4], ver[5] = 0xFF, 0x7F
+	if _, err := Read(bytes.NewReader(ver)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+
+	trail := append(append([]byte(nil), raw...), 0xAB)
+	if _, err := Read(bytes.NewReader(trail)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on trailing bytes, got %v", err)
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	s := sample()
+	if _, err := s.Dec("nope"); !errors.Is(err, ErrNoSection) {
+		t.Fatalf("want ErrNoSection, got %v", err)
+	}
+}
+
+func TestDecSticky(t *testing.T) {
+	var e Enc
+	e.U8(1)
+	d := &Dec{buf: e.buf}
+	_ = d.U64() // runs past the end
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("want sticky ErrTruncated, got %v", d.Err())
+	}
+	// Every accessor after an error returns zero values without
+	// touching the remaining input.
+	if d.U8() != 0 || d.String() != "" || d.I8s() != nil || d.Bool() {
+		t.Fatal("post-error accessor returned non-zero")
+	}
+}
+
+func TestBoolAndPadValidation(t *testing.T) {
+	d := &Dec{buf: []byte{2}}
+	d.Bool()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 2: want ErrCorrupt, got %v", d.Err())
+	}
+	var e Enc
+	e.Bools([]bool{true, true, false})
+	e.buf[len(e.buf)-1] |= 1 << 7 // set a pad bit
+	d = &Dec{buf: e.buf}
+	d.Bools()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("pad bits: want ErrCorrupt, got %v", d.Err())
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	mk := func() uint64 {
+		h := NewHash("kind")
+		h.Int(42)
+		h.Bool(true)
+		h.String("classifier")
+		h.Ints([]int{1, 2, 3})
+		h.U64(99)
+		return h.Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("hash not deterministic")
+	}
+	if NewHash("a").Sum() == NewHash("b").Sum() {
+		t.Fatal("kind tag does not affect hash")
+	}
+	ha, hb := NewHash("k"), NewHash("k")
+	ha.Int(1)
+	hb.Int(2)
+	if ha.Sum() == hb.Sum() {
+		t.Fatal("field value does not affect hash")
+	}
+}
+
+// FuzzRead feeds arbitrary bytes through the decoder: any outcome is
+// acceptable except a panic or an untyped error, and every successful
+// decode must be byte-stable.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("bfst"))
+	f.Add(encodeForFuzz(sample()))
+	trunc := encodeForFuzz(sample())
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			for _, typed := range []error{ErrBadMagic, ErrVersion, ErrTruncated, ErrCorrupt} {
+				if errors.Is(err, typed) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not byte-stable (%d in, %d out)", len(data), buf.Len())
+		}
+	})
+}
+
+func encodeForFuzz(s *Snapshot) []byte {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+var _ io.WriterTo = (*Snapshot)(nil)

@@ -19,6 +19,38 @@ type PredictorInfo struct {
 // Spec adapts the entry to the engine's PredictorSpec.
 func (i PredictorInfo) Spec() PredictorSpec { return PredictorSpec{Name: i.Name, New: i.New} }
 
+// Capabilities probes a fresh instance for its optional interfaces
+// (storage accounting, table hits, explain, bank reach, snapshot).
+// The probe instance is discarded; call it for metadata, not for a
+// predictor to run.
+func (i PredictorInfo) Capabilities() CapabilitySet { return Capabilities(i.New()) }
+
+// SelectPredictors resolves a comma-separated list of registry names or
+// aliases into entries, in input order; "all" selects the full registry
+// in reporting order. This is the shared -p / -preds flag semantics of
+// every command.
+func SelectPredictors(list string) ([]PredictorInfo, error) {
+	if strings.TrimSpace(list) == "all" {
+		return Predictors(), nil
+	}
+	var out []PredictorInfo
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		info, err := PredictorByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bfbp: empty predictor list %q", list)
+	}
+	return out, nil
+}
+
 // fixedRegistry lists every non-parameterised constructor in reporting
 // order: simple baselines, classic hybrids, related work, the paper's
 // baselines, then the paper's contributions and their ablations.

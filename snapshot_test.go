@@ -1,0 +1,222 @@
+package bfbp_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bfbp"
+)
+
+// saveState serialises p's state, failing the test if the predictor
+// does not implement Snapshotter or the save errors.
+func saveState(t *testing.T, p bfbp.Predictor) []byte {
+	t.Helper()
+	snap := bfbp.Capabilities(p).Snapshot
+	if snap == nil {
+		t.Fatalf("%s does not implement Snapshotter", p.Name())
+	}
+	var buf bytes.Buffer
+	if err := snap.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// loadState restores img into p, failing the test on error.
+func loadState(t *testing.T, p bfbp.Predictor, img []byte) {
+	t.Helper()
+	snap := bfbp.Capabilities(p).Snapshot
+	if snap == nil {
+		t.Fatalf("%s does not implement Snapshotter", p.Name())
+	}
+	if err := snap.LoadState(bytes.NewReader(img)); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+}
+
+// TestEveryPredictorSnapshots is the tentpole's coverage guard: every
+// registry predictor must implement the optional Snapshotter interface.
+func TestEveryPredictorSnapshots(t *testing.T) {
+	for _, info := range bfbp.Predictors() {
+		caps := info.Capabilities()
+		if caps.Snapshot == nil {
+			t.Errorf("%s: no Snapshotter", info.Name)
+		}
+		found := false
+		for _, n := range caps.Names() {
+			if n == "snapshot" {
+				found = true
+			}
+		}
+		if caps.Snapshot != nil && !found {
+			t.Errorf("%s: Capabilities().Names() omits \"snapshot\"", info.Name)
+		}
+	}
+}
+
+// TestBitExactResume asserts the snapshot contract on every registry
+// predictor over two workload suites: running N branches, snapshotting,
+// restoring into a fresh instance, and running M more must equal a
+// straight N+M run — same counters, same per-PC attribution, same
+// provider-table histogram.
+func TestBitExactResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry integration test")
+	}
+	for _, trName := range []string{"SPEC03", "SERV1"} {
+		tr := genTrace(t, trName, 6000)
+		split := len(tr) / 2
+		for _, info := range bfbp.Predictors() {
+			info := info
+			t.Run(trName+"/"+info.Name, func(t *testing.T) {
+				t.Parallel()
+				opt := bfbp.Options{PerPC: true}
+
+				sp := info.New()
+				straight, err := bfbp.Run(sp, tr.Stream(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				first := info.New()
+				got, err := bfbp.Run(first, tr[:split].Stream(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				img := saveState(t, first)
+				resumed := info.New()
+				loadState(t, resumed, img)
+				second, err := bfbp.Run(resumed, tr[split:].Stream(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Merge(second)
+
+				if got.Branches != straight.Branches ||
+					got.Mispredicts != straight.Mispredicts ||
+					got.Instructions != straight.Instructions {
+					t.Fatalf("split run (%d br, %d misp, %d instr) != straight (%d br, %d misp, %d instr)",
+						got.Branches, got.Mispredicts, got.Instructions,
+						straight.Branches, straight.Mispredicts, straight.Instructions)
+				}
+				if got.MPKI() != straight.MPKI() {
+					t.Fatalf("split MPKI %v != straight %v", got.MPKI(), straight.MPKI())
+				}
+				wantOff := straight.TopOffenders(10)
+				gotOff := got.TopOffenders(10)
+				if len(wantOff) != len(gotOff) {
+					t.Fatalf("offender count %d != %d", len(gotOff), len(wantOff))
+				}
+				for i := range wantOff {
+					if wantOff[i] != gotOff[i] {
+						t.Fatalf("offender %d: %+v != %+v", i, gotOff[i], wantOff[i])
+					}
+				}
+				th1 := bfbp.Capabilities(sp).TableHits
+				th2 := bfbp.Capabilities(resumed).TableHits
+				if (th1 == nil) != (th2 == nil) {
+					t.Fatal("TableHits capability differs between instances")
+				}
+				if th1 != nil {
+					a, b := th1.TableHits(), th2.TableHits()
+					if len(a) != len(b) {
+						t.Fatalf("TableHits length %d != %d", len(b), len(a))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("TableHits[%d]: split %d != straight %d", i, b[i], a[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotByteStable asserts save→load→save is byte-identical for
+// every registry predictor after training.
+func TestSnapshotByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry integration test")
+	}
+	tr := genTrace(t, "SPEC07", 3000)
+	for _, info := range bfbp.Predictors() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			p := info.New()
+			if _, err := bfbp.Run(p, tr.Stream(), bfbp.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			img1 := saveState(t, p)
+			q := info.New()
+			loadState(t, q, img1)
+			img2 := saveState(t, q)
+			if !bytes.Equal(img1, img2) {
+				t.Fatalf("save→load→save drifted: %d vs %d bytes", len(img1), len(img2))
+			}
+		})
+	}
+}
+
+// TestSnapshotMismatchErrors asserts the typed-error contract when a
+// snapshot is restored into the wrong predictor or configuration.
+func TestSnapshotMismatchErrors(t *testing.T) {
+	tr := genTrace(t, "INT2", 1000)
+	p := bfbp.NewGShare(1<<16, 16)
+	if _, err := bfbp.Run(p, tr.Stream(), bfbp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	img := saveState(t, p)
+
+	hdr, err := bfbp.ReadSnapshotHeader(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("ReadSnapshotHeader: %v", err)
+	}
+	if hdr.Predictor != "gshare" {
+		t.Fatalf("header predictor %q, want gshare", hdr.Predictor)
+	}
+
+	wrong := bfbp.NewBimodal(1 << 14)
+	if err := bfbp.Capabilities(wrong).Snapshot.LoadState(bytes.NewReader(img)); !errors.Is(err, bfbp.ErrSnapshotPredictor) {
+		t.Fatalf("load into bimodal: %v, want ErrSnapshotPredictor", err)
+	}
+	smaller := bfbp.NewGShare(1<<14, 14)
+	if err := bfbp.Capabilities(smaller).Snapshot.LoadState(bytes.NewReader(img)); !errors.Is(err, bfbp.ErrSnapshotConfig) {
+		t.Fatalf("load into resized gshare: %v, want ErrSnapshotConfig", err)
+	}
+	if err := bfbp.Capabilities(p).Snapshot.LoadState(bytes.NewReader(img[:len(img)/2])); !errors.Is(err, bfbp.ErrSnapshotTruncated) {
+		t.Fatalf("truncated load: %v, want ErrSnapshotTruncated", err)
+	}
+}
+
+// TestSelectPredictors covers the shared -preds selection helper.
+func TestSelectPredictors(t *testing.T) {
+	all, err := bfbp.SelectPredictors("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(bfbp.Predictors()) {
+		t.Fatalf("all selected %d, registry has %d", len(all), len(bfbp.Predictors()))
+	}
+	got, err := bfbp.SelectPredictors(" gshare, bf-neural-64kb ,tage-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"gshare", "bf-neural", "tage-7"}
+	if len(got) != len(names) {
+		t.Fatalf("selected %d entries, want %d", len(got), len(names))
+	}
+	for i, want := range names {
+		if got[i].Name != want {
+			t.Errorf("entry %d: %q, want %q", i, got[i].Name, want)
+		}
+	}
+	if _, err := bfbp.SelectPredictors("no-such-predictor"); err == nil {
+		t.Error("unknown name did not error")
+	}
+	if _, err := bfbp.SelectPredictors(" , "); err == nil {
+		t.Error("empty list did not error")
+	}
+}
