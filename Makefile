@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke
+.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke obs-smoke
 
 all: check
 
@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the concurrency-sensitive packages (suite engine
-# worker pool, the experiment runner built on it, and the telemetry
-# stack that observes both).
+# worker pool, the experiment runner built on it, the telemetry stack
+# that observes both, and the bfstat console's live-stack test).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/obs/... ./internal/telemetry/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/obs/... ./internal/telemetry/... ./cmd/bfstat/...
 
 check: build vet race
 
@@ -66,6 +66,32 @@ snapshot-smoke:
 		fi; \
 		echo "snapshot-smoke: $$p ok ($$sb branches, $$sm mispredicts)"; \
 	done; rm -f snap_ci.bin
+
+# Live-health smoke: a real bfsim suite with -metrics-addr on, driven
+# end to end from cmd/bfstat while it runs. /healthz must answer with a
+# health state, /metrics/history must serve the bfbp.history.v1 ring,
+# and one rendered frame must carry non-empty engine-run and harness
+# predict/update summary quantiles. The run is killed once the surface
+# is verified — this guards the wiring, not the numbers.
+OBS_ADDR ?= 127.0.0.1:9377
+
+obs-smoke:
+	@set -e; \
+	$(GO) build -o bfsim_obs_ci ./cmd/bfsim; \
+	$(GO) build -o bfstat_obs_ci ./cmd/bfstat; \
+	./bfsim_obs_ci -p bimodal,gshare,bf-neural -t all -n 500000 \
+		-metrics-addr $(OBS_ADDR) > /dev/null 2>&1 & pid=$$!; \
+	ok=0; \
+	{ \
+		./bfstat_obs_ci -addr $(OBS_ADDR) -wait 30s -get /healthz | grep -q '"state"' && \
+		./bfstat_obs_ci -addr $(OBS_ADDR) -get /metrics/history | grep -q bfbp.history.v1 && \
+		sleep 2 && \
+		./bfstat_obs_ci -addr $(OBS_ADDR) -once \
+			-require-quantiles bfbp_engine_run_seconds,bfbp_harness_predict_seconds,bfbp_harness_update_seconds; \
+	} && ok=1; \
+	kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+	rm -f bfsim_obs_ci bfstat_obs_ci; \
+	[ $$ok -eq 1 ] && echo "obs-smoke: ok"
 
 # Go microbenchmarks (root package + engine/telemetry overhead).
 BENCHTIME ?= 1s

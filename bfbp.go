@@ -22,6 +22,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"time"
 
 	"bfbp/internal/bst"
 	"bfbp/internal/core/bfgehl"
@@ -104,6 +105,27 @@ type (
 	MetricsGauge = obs.Gauge
 	// MetricsHistogram is a fixed-bucket lock-free histogram.
 	MetricsHistogram = obs.Histogram
+	// MetricsQuantile is an HDR-style log-linear quantile histogram
+	// (p50/p90/p99/p999 within obs.QuantileRelError relative error),
+	// exported as a Prometheus summary.
+	MetricsQuantile = obs.QuantileHistogram
+	// MetricsFloatGauge is an atomic float64 instantaneous value.
+	MetricsFloatGauge = obs.FloatGauge
+	// RuntimeCollector bridges runtime/metrics (heap, goroutines, GC
+	// pauses, scheduler latency) into a registry as bfbp_runtime_*.
+	RuntimeCollector = obs.RuntimeCollector
+	// MetricsHistory is a fixed-depth in-process time-series ring of
+	// registry scrapes, served as bfbp.history.v1 at /metrics/history.
+	MetricsHistory = obs.History
+	// HistoryPoint is one flattened scrape in a MetricsHistory ring.
+	HistoryPoint = obs.HistoryPoint
+	// Health evaluates declarative HealthRules against scrapes and
+	// aggregates them into a HealthState (behind /healthz).
+	Health = obs.Health
+	// HealthRule is one declarative threshold/rate rule.
+	HealthRule = obs.HealthRule
+	// HealthState is the aggregate run-health verdict.
+	HealthState = obs.HealthState
 	// Journal writes bfbp.journal.v1 JSONL run events.
 	Journal = obs.Journal
 	// Tracer records hierarchical execution spans as a bfbp.trace.v1
@@ -203,10 +225,42 @@ func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
 // field.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
+// Aggregate health states, ordered by severity.
+const (
+	HealthOK        = obs.HealthOK
+	HealthDegraded  = obs.HealthDegraded
+	HealthUnhealthy = obs.HealthUnhealthy
+)
+
+// MetricsQuantileRelError is the worst-case relative error of a
+// MetricsQuantile estimate.
+const MetricsQuantileRelError = obs.QuantileRelError
+
+// NewRuntimeCollector registers the bfbp_runtime_* gauge set on reg;
+// call Collect before scrapes (MetricsHistory.BeforeScrape does this
+// when wired) or Start a ticker.
+func NewRuntimeCollector(reg *MetricsRegistry) *RuntimeCollector { return obs.NewRuntimeCollector(reg) }
+
+// NewMetricsHistory returns a depth-point ring sampling reg every
+// interval once Started; serve it with MetricsMuxWith.
+func NewMetricsHistory(reg *MetricsRegistry, depth int, interval time.Duration) *MetricsHistory {
+	return obs.NewHistory(reg, depth, interval)
+}
+
+// NewHealth returns a rule engine over flattened scrapes; wire its
+// Sample as a MetricsHistory.OnSample hook.
+func NewHealth(rules []HealthRule) *Health { return obs.NewHealth(rules) }
+
 // MetricsMux returns an http.ServeMux serving /metrics (Prometheus
 // text), /debug/vars (expvar-style JSON), and /debug/pprof/* for the
 // registry — the handler behind the commands' -metrics-addr flag.
 func MetricsMux(reg *MetricsRegistry) *http.ServeMux { return obs.NewMux(reg) }
+
+// MetricsMuxWith is MetricsMux plus /metrics/history (hist non-nil)
+// and /healthz (health non-nil).
+func MetricsMuxWith(reg *MetricsRegistry, hist *MetricsHistory, health *Health) *http.ServeMux {
+	return obs.NewMuxWith(reg, hist, health)
+}
 
 // Trace types.
 type (

@@ -11,6 +11,11 @@
 //	analyze -t SERV1 -p tage-8,bf-tage-8 -explain         # provenance + paper-shape
 //	analyze -t SPEC03 -p bf-neural -warmstart             # cold vs warm MPKI curve
 //	analyze -t SPEC03 -p gshare -interference SERV1       # context-switch penalty
+//
+// Long attributions can be observed live like the other commands:
+//
+//	analyze ... -metrics-addr :8080   # /metrics, /metrics/history, /healthz (watch with bfstat)
+//	analyze ... -heartbeat 10s        # periodic stderr progress line
 package main
 
 import (
@@ -18,11 +23,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bfbp"
 	"bfbp/internal/analysis"
 	"bfbp/internal/experiments"
 	"bfbp/internal/sim"
+	"bfbp/internal/telemetry"
 	"bfbp/internal/workload"
 )
 
@@ -39,8 +46,22 @@ func main() {
 		windows    = flag.Int("windows", 10, "window count for -warmstart")
 		interfere  = flag.String("interference", "", "second trace: context-switch interference between -t and this trace")
 		quantum    = flag.Int("quantum", 2000, "context-switch quantum in branches for -interference")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics/history, /healthz, /debug/pprof on this address")
+		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
+		heartbeat   = flag.Duration("heartbeat", time.Duration(0), "print a progress line to stderr at this period (0 = off)")
 	)
 	flag.Parse()
+
+	tel, err := telemetry.Start(telemetry.Config{
+		MetricsAddr: *metricsAddr,
+		JournalPath: *journalPath,
+		Heartbeat:   *heartbeat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.Close()
 
 	if *traceName == "" {
 		fatal(fmt.Errorf("need -t <trace>"))

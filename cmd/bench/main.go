@@ -20,6 +20,8 @@
 //	bench -cpuprofile cpu.pprof    # profile the measured runs
 //	bench -trace-out bench.trace.json           # Perfetto span timeline
 //	bench -runtime-trace bench.rtrace           # Go runtime/trace capture
+//	bench -metrics-addr :8080                   # live /metrics, /metrics/history, /healthz (watch with bfstat)
+//	bench -journal bench.jsonl -heartbeat 10s   # event log + stderr progress
 package main
 
 import (
@@ -95,6 +97,10 @@ func main() {
 		tolerance = flag.Float64("tolerance", 2.0, "fail when a row is this factor slower than the baseline")
 		traceOut  = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
 		rtraceOut = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics/history, /healthz, /debug/pprof on this address")
+		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
+		heartbeat   = flag.Duration("heartbeat", 0, "print a progress line to stderr at this period (0 = off)")
 	)
 	prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -126,7 +132,13 @@ func main() {
 	}
 	defer stop()
 
-	tel, err := telemetry.Start(telemetry.Config{TracePath: *traceOut, RuntimeTracePath: *rtraceOut})
+	tel, err := telemetry.Start(telemetry.Config{
+		MetricsAddr:      *metricsAddr,
+		JournalPath:      *journalPath,
+		Heartbeat:        *heartbeat,
+		TracePath:        *traceOut,
+		RuntimeTracePath: *rtraceOut,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -145,6 +157,11 @@ func main() {
 		Runs:       *runs,
 	}
 	opt := sim.Options{Warmup: uint64(*branches / 10)}
+	if *metricsAddr != "" || *heartbeat > 0 {
+		// Live-observed benches sample harness latency so the quantile
+		// surfaces have data; pure measurement runs skip the probe.
+		opt.Probe = tel.EngineMetrics().Probe()
+	}
 	rowAgg := map[string]*Row{}
 	for _, src := range sources {
 		for _, info := range specs {

@@ -27,9 +27,11 @@
 //
 // Long suite runs can be observed live:
 //
-//	bfsim -p all-suite... -metrics-addr :8080    # /metrics, /debug/vars, /debug/pprof
+//	bfsim -p all-suite... -metrics-addr :8080    # /metrics, /debug/vars, /debug/pprof,
+//	                                             # /metrics/history ring, /healthz rules
+//	                                             # (watch live with cmd/bfstat)
 //	bfsim ... -journal run.jsonl                 # bfbp.journal.v1 event log
-//	bfsim ... -heartbeat 10s                     # periodic stderr progress line
+//	bfsim ... -heartbeat 10s                     # periodic stderr progress + health line
 //	bfsim ... -trace-out run.trace.json          # bfbp.trace.v1 span timeline (Perfetto)
 //	bfsim ... -runtime-trace run.rtrace          # Go runtime/trace with bridged spans
 //
@@ -83,7 +85,7 @@ func main() {
 		resumePath      = flag.String("resume", "", "load a bfbp.state.v1 predictor snapshot before the run")
 		skip            = flag.Int("skip", 0, "discard the first N trace records (fast-forward a resumed trace)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics/history, /healthz, /debug/pprof on this address")
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")

@@ -1,0 +1,400 @@
+// Command bfstat is a live terminal console for a running bfbp process
+// (bfsim, experiments, bench, or analyze started with -metrics-addr).
+// It polls /debug/vars, /metrics/history, and /healthz and renders
+// engine throughput with a sparkline, per-predictor MPKI, worker and
+// queue state, latency quantiles, runtime health, and the health-rule
+// report — a top(1) for suite runs, with no dependencies beyond the
+// stdlib.
+//
+// Usage:
+//
+//	bfstat                                  # poll localhost:8080 every second
+//	bfstat -addr 127.0.0.1:9377 -interval 2s
+//	bfstat -once                            # render one frame and exit
+//	bfstat -once -require-quantiles         # also fail if no latency quantiles yet
+//	bfstat -wait 10s -once                  # wait for the endpoint to come up
+//	bfstat -get /healthz                    # dump one raw endpoint (curl substitute)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "metrics address of the observed process")
+		interval = flag.Duration("interval", time.Second, "poll period")
+		once     = flag.Bool("once", false, "render one frame and exit")
+		wait     = flag.Duration("wait", 0, "wait up to this long for the endpoint before the first poll")
+		requireQ = flag.String("require-quantiles", "", "with -once: comma-separated quantile metric names that must have samples (exit 1 otherwise)")
+		get      = flag.String("get", "", "fetch one raw endpoint path (e.g. /healthz) and print the body")
+	)
+	flag.Parse()
+
+	c := &client{base: "http://" + *addr, hc: &http.Client{Timeout: 5 * time.Second}}
+
+	if *wait > 0 {
+		if err := c.waitUp(*wait); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *get != "" {
+		body, _, err := c.fetch(*get)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(string(body))
+		if !strings.HasSuffix(string(body), "\n") {
+			fmt.Println()
+		}
+		return
+	}
+
+	if *once {
+		frame, err := c.snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(render(frame, *addr))
+		if *requireQ != "" {
+			if err := requireQuantiles(frame.vars, strings.Split(*requireQ, ",")); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	for {
+		frame, err := c.snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfstat: %v (retrying)\n", err)
+		} else {
+			// Clear screen + home, then one frame.
+			fmt.Print("\x1b[2J\x1b[H" + render(frame, *addr))
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// client polls the three JSON surfaces of one process.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) fetch(path string) ([]byte, int, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func (c *client) waitUp(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		if _, _, err := c.fetch("/debug/vars"); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("endpoint %s not up after %s: %w", c.base, d, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// vars is the decoded /debug/vars document: plain metrics are float64,
+// labeled families map label-tuple -> value, quantile series decode to
+// map[string]any with count/sum/min/max/p50/p90/p99/p999.
+type vars map[string]any
+
+// frame is one consistent poll of the observed process.
+type frame struct {
+	vars    vars
+	history historyDoc
+	health  healthDoc
+}
+
+type historyDoc struct {
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Points          []struct {
+		UnixMillis int64              `json:"t_ms"`
+		Values     map[string]float64 `json:"values"`
+	} `json:"points"`
+}
+
+type healthDoc struct {
+	State string `json:"state"`
+	Rules []struct {
+		Name     string  `json:"name"`
+		Severity string  `json:"severity"`
+		Firing   bool    `json:"firing"`
+		Value    float64 `json:"value"`
+		Limit    float64 `json:"limit"`
+		Streak   int     `json:"streak"`
+	} `json:"rules"`
+}
+
+func (c *client) snapshot() (frame, error) {
+	var f frame
+	body, _, err := c.fetch("/debug/vars")
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(body, &f.vars); err != nil {
+		return f, fmt.Errorf("/debug/vars: %w", err)
+	}
+	// History and health are optional surfaces (older processes or
+	// NewMux without the health layer); their absence degrades the
+	// dashboard rather than failing it.
+	if body, code, err := c.fetch("/metrics/history"); err == nil && code == 200 {
+		_ = json.Unmarshal(body, &f.history)
+	}
+	if body, code, err := c.fetch("/healthz"); err == nil {
+		_ = json.Unmarshal(body, &f.health) // decodes for 200 and 503 alike
+		_ = code
+	}
+	return f, nil
+}
+
+// num reads a plain numeric metric, 0 when absent.
+func (v vars) num(name string) float64 {
+	f, _ := v[name].(float64)
+	return f
+}
+
+// family reads a labeled family as label-tuple -> raw value.
+func (v vars) family(name string) map[string]any {
+	m, _ := v[name].(map[string]any)
+	return m
+}
+
+// qfield reads one field of a quantile snapshot value.
+func qfield(raw any, field string) float64 {
+	m, _ := raw.(map[string]any)
+	f, _ := m[field].(float64)
+	return f
+}
+
+// render draws one full frame.
+func render(f frame, addr string) string {
+	var b strings.Builder
+	v := f.vars
+
+	state := f.health.State
+	if state == "" {
+		state = "n/a"
+	}
+	fmt.Fprintf(&b, "bfstat %s  %s  health=%s\n\n", addr, time.Now().Format("15:04:05"), state)
+
+	// Engine panel.
+	runs := v.family("bfbp_engine_runs_total")
+	ok, _ := runs["ok"].(float64)
+	failed, _ := runs["error"].(float64)
+	fmt.Fprintf(&b, "engine   %d workers (%d busy)  queue %d  runs %.0f ok / %.0f failed  branches %s\n",
+		int64(v.num("bfbp_engine_workers")), int64(v.num("bfbp_engine_busy_workers")),
+		int64(v.num("bfbp_engine_queue_depth")), ok, failed,
+		human(v.num("bfbp_engine_branches_total")))
+
+	rates := throughput(f.history)
+	if len(rates) > 0 {
+		fmt.Fprintf(&b, "rate     %s branches/s  %s\n", human(rates[len(rates)-1]), sparkline(rates))
+	}
+	b.WriteString("\n")
+
+	// Per-predictor MPKI from the engine counter families.
+	mis := v.family("bfbp_engine_mispredicts_total")
+	ins := v.family("bfbp_engine_instructions_total")
+	if len(mis) > 0 {
+		names := make([]string, 0, len(mis))
+		for name := range mis {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("predictor        MPKI     mispredicts   run p50      run p99\n")
+		runSec := v.family("bfbp_engine_run_seconds")
+		for _, name := range names {
+			m, _ := mis[name].(float64)
+			i, _ := ins[name].(float64)
+			mpki := 0.0
+			if i > 0 {
+				mpki = 1000 * m / i
+			}
+			fmt.Fprintf(&b, "%-14s %7.3f  %12s   %-10s   %-10s\n", name, mpki, human(m),
+				secs(qfield(runSec[name], "p50")), secs(qfield(runSec[name], "p99")))
+		}
+		b.WriteString("\n")
+	}
+
+	// Harness and span latency quantiles.
+	b.WriteString("latency             p50        p99        p999       samples\n")
+	for _, q := range []struct{ label, metric string }{
+		{"harness predict", "bfbp_harness_predict_seconds"},
+		{"harness update", "bfbp_harness_update_seconds"},
+	} {
+		raw := v[q.metric]
+		fmt.Fprintf(&b, "%-17s %-10s %-10s %-10s %.0f\n", q.label,
+			secs(qfield(raw, "p50")), secs(qfield(raw, "p99")), secs(qfield(raw, "p999")),
+			qfield(raw, "count"))
+	}
+	if spans := v.family("bfbp_span_seconds"); len(spans) > 0 {
+		kinds := make([]string, 0, len(spans))
+		for k := range spans {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "%-17s %-10s %-10s %-10s %.0f\n", "span "+k,
+				secs(qfield(spans[k], "p50")), secs(qfield(spans[k], "p99")),
+				secs(qfield(spans[k], "p999")), qfield(spans[k], "count"))
+		}
+	}
+	b.WriteString("\n")
+
+	// Runtime panel.
+	gc := v.family("bfbp_runtime_gc_pause_seconds")
+	lat := v.family("bfbp_runtime_sched_latency_seconds")
+	gcP99, _ := gc["0.99"].(float64)
+	latP99, _ := lat["0.99"].(float64)
+	fmt.Fprintf(&b, "runtime  heap %s  goroutines %d  gc cycles %d  gc p99 %s  sched p99 %s\n",
+		human(v.num("bfbp_runtime_heap_bytes")), int64(v.num("bfbp_runtime_goroutines")),
+		int64(v.num("bfbp_runtime_gc_cycles_total")), secs(gcP99), secs(latP99))
+
+	// Health rules.
+	if len(f.health.Rules) > 0 {
+		b.WriteString("\nhealth rules\n")
+		for _, r := range f.health.Rules {
+			mark := "  "
+			if r.Firing {
+				mark = "!!"
+			}
+			fmt.Fprintf(&b, " %s %-20s %-9s value %-12g limit %-12g streak %d\n",
+				mark, r.Name, r.Severity, r.Value, r.Limit, r.Streak)
+		}
+	}
+	return b.String()
+}
+
+// throughput derives branches/s between consecutive history points.
+func throughput(h historyDoc) []float64 {
+	var rates []float64
+	for i := 1; i < len(h.Points); i++ {
+		prev, cur := h.Points[i-1], h.Points[i]
+		dt := float64(cur.UnixMillis-prev.UnixMillis) / 1000
+		if dt <= 0 {
+			continue
+		}
+		d := cur.Values["bfbp_engine_branches_total"] - prev.Values["bfbp_engine_branches_total"]
+		rates = append(rates, d/dt)
+	}
+	// Keep the tail that fits a terminal comfortably.
+	if len(rates) > 60 {
+		rates = rates[len(rates)-60:]
+	}
+	return rates
+}
+
+// sparkline renders values as a block-character strip scaled to the max.
+func sparkline(vals []float64) string {
+	const ramp = "▁▂▃▄▅▆▇█"
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return strings.Repeat("▁", len(vals))
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := int(v / max * 7)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 7 {
+			idx = 7
+		}
+		b.WriteRune([]rune(ramp)[idx])
+	}
+	return b.String()
+}
+
+// requireQuantiles fails unless every named quantile metric (unlabeled,
+// or a family where any series counts) has at least one sample.
+func requireQuantiles(v vars, names []string) error {
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		raw, ok := v[name]
+		if !ok {
+			return fmt.Errorf("quantile metric %s absent from /debug/vars", name)
+		}
+		if qfield(raw, "count") > 0 {
+			continue
+		}
+		found := false
+		if fam, isFam := raw.(map[string]any); isFam {
+			for _, series := range fam {
+				if qfield(series, "count") > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("quantile metric %s has no samples", name)
+		}
+	}
+	return nil
+}
+
+// human renders a count with K/M/G suffixes.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// secs renders a duration in seconds with an adaptive unit.
+func secs(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1e-6:
+		return fmt.Sprintf("%.0fns", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.1fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbp/internal/sim"
+	"bfbp/internal/telemetry"
+	"bfbp/internal/workload"
+)
+
+// End to end: point the bfstat client at a live telemetry stack after a
+// small suite run and check every panel renders real data.
+func TestSnapshotAndRenderAgainstLiveStack(t *testing.T) {
+	tel, err := telemetry.Start(telemetry.Config{
+		MetricsAddr:     "127.0.0.1:0",
+		HistoryInterval: time.Hour, // sampled manually below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+
+	var eng sim.Engine
+	eng.Workers = 2
+	tel.Attach(&eng)
+	spec, ok := workload.ByName("INT1")
+	if !ok {
+		t.Fatal("INT1 missing")
+	}
+	jobs := sim.Matrix(
+		[]sim.TraceSource{spec.Source(20_000)},
+		[]sim.PredictorSpec{{Name: "static-taken", New: func() sim.Predictor { return &sim.StaticPredictor{Direction: true} }}},
+		sim.Options{Probe: tel.EngineMetrics().Probe()},
+	)
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Two manual history points so the throughput sparkline has a delta.
+	tel.History.Sample(time.Now().Add(-time.Second))
+	tel.History.Sample(time.Now())
+
+	c := &client{base: "http://" + tel.Addr, hc: &http.Client{Timeout: 5 * time.Second}}
+	if err := c.waitUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := render(f, tel.Addr)
+	for _, frag := range []string{
+		"health=ok",
+		"static-taken",
+		"harness predict",
+		"runtime  heap",
+		"health rules",
+		"throughput-collapse",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// MPKI column: static-taken on INT1 must mispredict something.
+	if strings.Contains(out, "static-taken     0.000") {
+		t.Errorf("MPKI rendered as zero:\n%s", out)
+	}
+
+	if err := requireQuantiles(f.vars, []string{
+		"bfbp_engine_run_seconds",
+		"bfbp_harness_predict_seconds",
+		"bfbp_harness_update_seconds",
+	}); err != nil {
+		t.Fatalf("quantiles not populated after a run: %v", err)
+	}
+	if err := requireQuantiles(f.vars, []string{"bfbp_span_seconds"}); err == nil {
+		t.Fatal("want error for unpopulated quantile metric (tracing off)")
+	}
+}
+
+func TestThroughputAndSparkline(t *testing.T) {
+	var h historyDoc
+	for i, branches := range []float64{0, 1000, 3000, 3000} {
+		h.Points = append(h.Points, struct {
+			UnixMillis int64              `json:"t_ms"`
+			Values     map[string]float64 `json:"values"`
+		}{UnixMillis: int64(i) * 1000, Values: map[string]float64{"bfbp_engine_branches_total": branches}})
+	}
+	rates := throughput(h)
+	want := []float64{1000, 2000, 0}
+	if len(rates) != len(want) {
+		t.Fatalf("rates = %v, want %v", rates, want)
+	}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-9 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+	if s := sparkline(rates); s != "▄█▁" {
+		t.Fatalf("sparkline = %q, want ▄█▁", s)
+	}
+	if s := sparkline([]float64{0, 0}); s != "▁▁" {
+		t.Fatalf("zero sparkline = %q", s)
+	}
+}
+
+func TestHumanAndSecs(t *testing.T) {
+	if human(2.5e9) != "2.5G" || human(12) != "12" {
+		t.Fatal("human formatting drifted")
+	}
+	for v, want := range map[float64]string{
+		0:       "-",
+		50e-9:   "50ns",
+		2.5e-6:  "2.5µs",
+		0.00123: "1.2ms",
+		3.5:     "3.50s",
+	} {
+		if got := secs(v); got != want {
+			t.Fatalf("secs(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -56,7 +56,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
 			return err
 		}
 		for _, s := range f.sortedSeries() {
@@ -66,8 +66,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labelNames, s.labels, ""), s.counter.Value())
 			case gaugeKind:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labelNames, s.labels, ""), s.gauge.Value())
+			case floatGaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labelNames, s.labels, ""), formatFloat(s.fgauge.Value()))
 			case histogramKind:
 				err = writePrometheusHistogram(w, f, s)
+			case quantileKind:
+				err = writePrometheusSummary(w, f, s)
 			}
 			if err != nil {
 				return err
@@ -99,6 +103,26 @@ func writePrometheusHistogram(w io.Writer, f *family, s *series) error {
 	return err
 }
 
+// writePrometheusSummary renders a quantile histogram in the summary
+// exposition shape: one {quantile="..."} series per exported quantile
+// point plus _sum and _count. Quantile values come from one bucket
+// snapshot, so a scrape is internally consistent.
+func writePrometheusSummary(w io.Writer, f *family, s *series) error {
+	snap := s.quant.Snapshot()
+	for i, v := range []float64{snap.P50, snap.P90, snap.P99, snap.P999} {
+		q := fmt.Sprintf(`quantile="%s"`, exportQuantileLabels[i])
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labelNames, s.labels, q), formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	lp := labelPairs(f.labelNames, s.labels, "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lp, formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lp, snap.Count)
+	return err
+}
+
 // jsonHistogram is the JSON shape of one histogram series.
 type jsonHistogram struct {
 	Count   uint64            `json:"count"`
@@ -113,6 +137,10 @@ func jsonValue(f *family, s *series) any {
 		return s.counter.Value()
 	case gaugeKind:
 		return s.gauge.Value()
+	case floatGaugeKind:
+		return s.fgauge.Value()
+	case quantileKind:
+		return s.quant.Snapshot()
 	default:
 		bounds, counts := s.hist.Snapshot()
 		buckets := make(map[string]uint64, len(counts))

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateExportGolden = flag.Bool("update-export", false, "rewrite the export golden files")
+
+// goldenRegistry builds one registry covering every metric kind with
+// deterministic values, so both export formats can be pinned to bytes:
+// series and family ordering, float formatting, histogram cumulation,
+// summary quantile lines, and the quantile JSON shape are all under
+// guard. Quantile samples are exact bucket midpoints, so their
+// estimates (and therefore the golden bytes) are stable by
+// construction.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("g_branches_total", "branches simulated").Add(123456)
+	reg.CounterFamily("g_runs_total", "runs by status", "status").With("ok").Add(7)
+	reg.CounterFamily("g_runs_total", "runs by status", "status").With("error").Add(1)
+	reg.Gauge("g_workers", "worker count").Set(8)
+	reg.FloatGauge("g_ratio", "a plain float gauge").Set(0.375)
+	fgf := reg.FloatGaugeFamily("g_pause_seconds", "runtime distribution points", "q")
+	fgf.With("0.5").Set(0.0009765625)
+	fgf.With("0.99").Set(0.001953125)
+	h := reg.Histogram("g_rate", "bucketed rate", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+	q := reg.Quantile("g_latency_seconds", "a quantile summary")
+	for i := 0; i < 100; i++ {
+		// Exact midpoint of a 2^-10 octave sub-bucket: estimate == sample.
+		q.Observe(quantMid(quantIndex(0.001)))
+	}
+	qf := reg.QuantileFamily("g_run_seconds", "per-thing durations", "thing")
+	qf.With("a").Observe(quantMid(quantIndex(0.25)))
+	qf.With("b").Observe(quantMid(quantIndex(2)))
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateExportGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestExportGolden -update-export): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden bytes.\ngot:\n%s\nwant:\n%s\n(if the format change is intentional, rerun with -update-export and document it)", name, got, want)
+	}
+}
+
+// The Prometheus text exposition and the expvar JSON document are
+// public surfaces scraped by external tooling — any byte change is a
+// deliberate format decision, not an accident of refactoring.
+func TestExportGolden(t *testing.T) {
+	reg := goldenRegistry()
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", prom.Bytes())
+
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json.golden", js.Bytes())
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+)
+
+// HealthState is the coarse run-health verdict derived from the rule
+// set: OK < Degraded < Unhealthy. /healthz serves 503 only for
+// Unhealthy, so orchestrators restart on hard failure but merely alert
+// on degradation.
+type HealthState int
+
+const (
+	HealthOK HealthState = iota
+	HealthDegraded
+	HealthUnhealthy
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "unhealthy"
+	}
+}
+
+// HealthRule is one declarative threshold over a flattened metric key
+// (Registry.Flatten grammar). Rules evaluate once per history point:
+//
+//   - the rule reads Metric's current value, or its per-second
+//     derivative when Rate is set (counters: throughput, error rate);
+//   - it breaches when the value exceeds Limit, or falls below it when
+//     Below is set;
+//   - it fires once breached on For consecutive points (For <= 1 means
+//     immediately), and clears on the first non-breaching point;
+//   - When names a guard metric: while the guard's value is below
+//     WhenMin the rule is suspended (streak cleared), so e.g. a
+//     throughput-collapse rule stays quiet while no workers are busy.
+//
+// A missing Metric key also suspends the rule rather than firing it.
+type HealthRule struct {
+	Name     string
+	Metric   string
+	Rate     bool
+	Below    bool
+	Limit    float64
+	For      int
+	Severity HealthState
+	When     string
+	WhenMin  float64
+}
+
+// ruleState is the evaluation memory for one rule.
+type ruleState struct {
+	streak  int
+	firing  bool
+	value   float64 // last evaluated value (rate for Rate rules)
+	prev    float64
+	prevMs  int64
+	hasPrev bool
+}
+
+// Health evaluates a rule set against the stream of history points and
+// tracks the aggregate state. Wire Sample to History.OnSample; read the
+// verdict from State or serve it via HealthHandler. All methods are
+// nil-safe.
+type Health struct {
+	rules []HealthRule
+
+	// OnTransition, when set, fires whenever the aggregate state
+	// changes, with the names of the rules firing after the change.
+	// Called from Sample's goroutine with the internal lock released.
+	OnTransition func(from, to HealthState, causes []string)
+
+	mu     sync.Mutex
+	states []ruleState
+	state  HealthState
+}
+
+// NewHealth builds a health evaluator over the given rules.
+func NewHealth(rules []HealthRule) *Health {
+	return &Health{
+		rules:  append([]HealthRule(nil), rules...),
+		states: make([]ruleState, len(rules)),
+	}
+}
+
+// Sample evaluates every rule against one history point and updates the
+// aggregate state, firing OnTransition on change. Nil-safe.
+func (h *Health) Sample(p HistoryPoint) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for i := range h.rules {
+		h.evalLocked(&h.rules[i], &h.states[i], p)
+	}
+	next := HealthOK
+	var causes []string
+	for i := range h.rules {
+		if !h.states[i].firing {
+			continue
+		}
+		causes = append(causes, h.rules[i].Name)
+		if h.rules[i].Severity > next {
+			next = h.rules[i].Severity
+		}
+	}
+	prev := h.state
+	h.state = next
+	cb := h.OnTransition
+	h.mu.Unlock()
+	if prev != next && cb != nil {
+		cb(prev, next, causes)
+	}
+}
+
+// evalLocked advances one rule's streak/firing state for one point.
+func (h *Health) evalLocked(r *HealthRule, st *ruleState, p HistoryPoint) {
+	if r.When != "" {
+		if g, ok := p.Values[r.When]; !ok || g < r.WhenMin {
+			st.streak, st.firing = 0, false
+			return
+		}
+	}
+	v, ok := p.Values[r.Metric]
+	if !ok {
+		st.streak, st.firing = 0, false
+		return
+	}
+	if r.Rate {
+		cur, curMs := v, p.UnixMillis
+		if !st.hasPrev || curMs <= st.prevMs {
+			st.prev, st.prevMs, st.hasPrev = cur, curMs, true
+			return // no derivative yet; streak unchanged
+		}
+		v = (cur - st.prev) / (float64(curMs-st.prevMs) / 1000)
+		st.prev, st.prevMs = cur, curMs
+	}
+	st.value = v
+	breach := v > r.Limit
+	if r.Below {
+		breach = v < r.Limit
+	}
+	if !breach {
+		st.streak, st.firing = 0, false
+		return
+	}
+	st.streak++
+	need := r.For
+	if need < 1 {
+		need = 1
+	}
+	st.firing = st.streak >= need
+}
+
+// State returns the current aggregate verdict. Nil-safe (OK).
+func (h *Health) State() HealthState {
+	if h == nil {
+		return HealthOK
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// HealthRuleStatus is one rule's row in the /healthz report.
+type HealthRuleStatus struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Severity string  `json:"severity"`
+	Firing   bool    `json:"firing"`
+	Value    float64 `json:"value"`
+	Limit    float64 `json:"limit"`
+	Streak   int     `json:"streak"`
+}
+
+// HealthReport is the JSON document served at /healthz.
+type HealthReport struct {
+	State string             `json:"state"`
+	Rules []HealthRuleStatus `json:"rules"`
+}
+
+// Report assembles the current per-rule status. Nil-safe (empty OK
+// report).
+func (h *Health) Report() HealthReport {
+	if h == nil {
+		return HealthReport{State: HealthOK.String()}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := HealthReport{State: h.state.String(), Rules: make([]HealthRuleStatus, len(h.rules))}
+	for i, r := range h.rules {
+		rep.Rules[i] = HealthRuleStatus{
+			Name:     r.Name,
+			Metric:   r.Metric,
+			Severity: r.Severity.String(),
+			Firing:   h.states[i].firing,
+			Value:    h.states[i].value,
+			Limit:    r.Limit,
+			Streak:   h.states[i].streak,
+		}
+	}
+	return rep
+}

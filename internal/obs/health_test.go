@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// point builds a history point at second t with the given values.
+func point(tSec int64, vals map[string]float64) HistoryPoint {
+	return HistoryPoint{UnixMillis: tSec * 1000, Values: vals}
+}
+
+// Threshold rule with a For streak: fires only after N consecutive
+// breaches, clears on the first good point.
+func TestHealthThresholdStreak(t *testing.T) {
+	h := NewHealth([]HealthRule{{
+		Name: "backlog", Metric: "queue", Limit: 100, For: 3,
+		Severity: HealthDegraded,
+	}})
+	feed := func(sec int64, q float64) HealthState {
+		h.Sample(point(sec, map[string]float64{"queue": q}))
+		return h.State()
+	}
+	if feed(1, 500) != HealthOK || feed(2, 500) != HealthOK {
+		t.Fatal("rule fired before For=3 consecutive breaches")
+	}
+	if feed(3, 500) != HealthDegraded {
+		t.Fatal("rule did not fire on the 3rd breach")
+	}
+	if feed(4, 10) != HealthOK {
+		t.Fatal("rule did not clear on a good point")
+	}
+	if feed(5, 500) != HealthOK {
+		t.Fatal("streak did not reset after clearing")
+	}
+}
+
+// Below + Rate + When guard: throughput collapse only matters while
+// workers are busy, and the rate needs two points to exist.
+func TestHealthRateBelowWithGuard(t *testing.T) {
+	h := NewHealth([]HealthRule{{
+		Name: "throughput-collapse", Metric: "branches", Rate: true,
+		Below: true, Limit: 1000, For: 1, Severity: HealthDegraded,
+		When: "busy", WhenMin: 1,
+	}})
+	feed := func(sec int64, branches, busy float64) HealthState {
+		h.Sample(point(sec, map[string]float64{"branches": branches, "busy": busy}))
+		return h.State()
+	}
+	if feed(1, 0, 1) != HealthOK {
+		t.Fatal("fired with no derivative available")
+	}
+	if feed(2, 1_000_000, 1) != HealthOK {
+		t.Fatal("fired at 1M branches/s")
+	}
+	if feed(3, 1_000_010, 1) != HealthDegraded {
+		t.Fatal("did not fire at 10 branches/s with busy workers")
+	}
+	// Guard off: workers idle, slow counter is fine.
+	if feed(4, 1_000_020, 0) != HealthOK {
+		t.Fatal("fired while the When guard was below WhenMin")
+	}
+	// Missing metric suspends rather than fires.
+	h.Sample(point(5, map[string]float64{"busy": 1}))
+	if h.State() != HealthOK {
+		t.Fatal("fired on a missing metric key")
+	}
+}
+
+// Severity aggregation, transition callback, and the /healthz handler
+// contract (503 only when unhealthy).
+func TestHealthTransitionsAndHandler(t *testing.T) {
+	h := NewHealth([]HealthRule{
+		{Name: "warn", Metric: "v", Limit: 10, Severity: HealthDegraded},
+		{Name: "page", Metric: "v", Limit: 100, Severity: HealthUnhealthy},
+	})
+	type trans struct {
+		from, to HealthState
+		causes   []string
+	}
+	var seen []trans
+	h.OnTransition = func(from, to HealthState, causes []string) {
+		seen = append(seen, trans{from, to, causes})
+	}
+
+	h.Sample(point(1, map[string]float64{"v": 5}))
+	h.Sample(point(2, map[string]float64{"v": 50}))  // ok -> degraded
+	h.Sample(point(3, map[string]float64{"v": 500})) // degraded -> unhealthy
+	h.Sample(point(4, map[string]float64{"v": 1}))   // unhealthy -> ok
+
+	want := []trans{
+		{HealthOK, HealthDegraded, []string{"warn"}},
+		{HealthDegraded, HealthUnhealthy, []string{"warn", "page"}},
+		{HealthUnhealthy, HealthOK, nil},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d transitions, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i, w := range want {
+		g := seen[i]
+		if g.from != w.from || g.to != w.to || len(g.causes) != len(w.causes) {
+			t.Errorf("transition %d = %+v, want %+v", i, g, w)
+		}
+	}
+
+	// Handler: 503 while unhealthy, 200 otherwise, report carries rules.
+	h.Sample(point(5, map[string]float64{"v": 500}))
+	rec := httptest.NewRecorder()
+	HealthHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("unhealthy /healthz = %d, want 503", rec.Code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != "unhealthy" || len(rep.Rules) != 2 || !rep.Rules[1].Firing {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Rules[0].Value != 500 || rep.Rules[0].Limit != 10 {
+		t.Fatalf("rule status = %+v", rep.Rules[0])
+	}
+
+	h.Sample(point(6, map[string]float64{"v": 50}))
+	rec = httptest.NewRecorder()
+	HealthHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("degraded /healthz = %d, want 200 (503 is reserved for unhealthy)", rec.Code)
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.Sample(point(1, nil))
+	if h.State() != HealthOK {
+		t.Fatal("nil health must report ok")
+	}
+	if rep := h.Report(); rep.State != "ok" || len(rep.Rules) != 0 {
+		t.Fatalf("nil report = %+v", rep)
+	}
+	rec := httptest.NewRecorder()
+	HealthHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil /healthz = %d, want 200", rec.Code)
+	}
+}
+
+// History -> Health wiring through OnSample, end to end over the mux.
+func TestHistoryHealthMuxIntegration(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_queue", "")
+	hist := NewHistory(reg, 8, 1e9)
+	health := NewHealth([]HealthRule{{
+		Name: "backlog", Metric: "test_queue", Limit: 100,
+		Severity: HealthUnhealthy,
+	}})
+	hist.OnSample = health.Sample
+
+	mux := NewMuxWith(reg, hist, health)
+	g.Set(1000)
+	hist.Sample(time.UnixMilli(1000))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/healthz = %d, want 503 after breach", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/history", nil))
+	var snap HistorySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Points) != 1 || snap.Points[0].Values["test_queue"] != 1000 {
+		t.Fatalf("history over mux = %+v", snap.Points)
+	}
+}

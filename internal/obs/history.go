@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// HistorySchema identifies the JSON document served at /metrics/history.
+const HistorySchema = "bfbp.history.v1"
+
+// HistoryPoint is one flattened registry scrape: a wall-clock stamp plus
+// every series rendered to a float64 under its flat key (see
+// Registry.Flatten for the key grammar).
+type HistoryPoint struct {
+	UnixMillis int64              `json:"t_ms"`
+	Values     map[string]float64 `json:"values"`
+}
+
+// Flatten renders every registered series to a flat name -> float64 map,
+// the sample shape consumed by the history ring and health rules:
+//
+//	name                     counters, gauges, float gauges (unlabeled)
+//	name{l="v",...}          the same, labeled
+//	name_count, name_sum     histograms and quantile histograms
+//	name_p50 .. name_p999    quantile histograms
+//
+// Suffixes attach to the name before the label braces, matching the
+// Prometheus series names a scraper would record.
+func (r *Registry) Flatten() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			lp := labelPairs(f.labelNames, s.labels, "")
+			switch f.kind {
+			case counterKind:
+				out[f.name+lp] = float64(s.counter.Value())
+			case gaugeKind:
+				out[f.name+lp] = float64(s.gauge.Value())
+			case floatGaugeKind:
+				out[f.name+lp] = s.fgauge.Value()
+			case histogramKind:
+				out[f.name+"_count"+lp] = float64(s.hist.Count())
+				out[f.name+"_sum"+lp] = s.hist.Sum()
+			case quantileKind:
+				snap := s.quant.Snapshot()
+				out[f.name+"_count"+lp] = float64(snap.Count)
+				out[f.name+"_sum"+lp] = snap.Sum
+				out[f.name+"_p50"+lp] = snap.P50
+				out[f.name+"_p90"+lp] = snap.P90
+				out[f.name+"_p99"+lp] = snap.P99
+				out[f.name+"_p999"+lp] = snap.P999
+			}
+		}
+	}
+	return out
+}
+
+// History keeps the last depth registry scrapes in a fixed-size ring,
+// giving a process its own short-term time series without an external
+// scraper: bfstat reads it over /metrics/history to draw sparklines, and
+// health rules consume each point as it lands.
+//
+// Sample performs one deterministic scrape (tests drive it directly with
+// a fixed clock); Start runs a ticker loop. BeforeScrape and OnSample
+// hooks must be set before Start. All methods are nil-safe.
+type History struct {
+	reg      *Registry
+	depth    int
+	interval time.Duration
+
+	// BeforeScrape, when set, runs before each scrape — the telemetry
+	// layer points it at RuntimeCollector.Collect so runtime gauges and
+	// history points advance together under one ticker.
+	BeforeScrape func()
+	// OnSample, when set, receives each new point — the hook health
+	// rules attach to.
+	OnSample func(HistoryPoint)
+
+	mu      sync.Mutex
+	ring    []HistoryPoint
+	next    int // ring slot for the next point
+	size    int // points currently held (<= depth)
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewHistory builds a ring of depth points over reg, scraped every
+// interval once Start is called. Depth and interval are clamped to
+// sane minimums (1 point, 100ms).
+func NewHistory(reg *Registry, depth int, interval time.Duration) *History {
+	if depth < 1 {
+		depth = 1
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return &History{
+		reg:      reg,
+		depth:    depth,
+		interval: interval,
+		ring:     make([]HistoryPoint, depth),
+	}
+}
+
+// Interval returns the configured scrape period.
+func (h *History) Interval() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.interval
+}
+
+// Sample scrapes the registry once, stamps the point with now, appends
+// it to the ring (evicting the oldest when full), and fires OnSample.
+// Nil-safe.
+func (h *History) Sample(now time.Time) {
+	if h == nil {
+		return
+	}
+	if h.BeforeScrape != nil {
+		h.BeforeScrape()
+	}
+	p := HistoryPoint{UnixMillis: now.UnixMilli(), Values: h.reg.Flatten()}
+	h.mu.Lock()
+	h.ring[h.next] = p
+	h.next = (h.next + 1) % h.depth
+	if h.size < h.depth {
+		h.size++
+	}
+	h.mu.Unlock()
+	if h.OnSample != nil {
+		h.OnSample(p)
+	}
+}
+
+// Points returns the retained points oldest-first. The slice is a copy;
+// the maps are shared with the ring (points are never mutated after
+// insertion). Nil-safe.
+func (h *History) Points() []HistoryPoint {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistoryPoint, 0, h.size)
+	start := h.next - h.size
+	if start < 0 {
+		start += h.depth
+	}
+	for i := 0; i < h.size; i++ {
+		out = append(out, h.ring[(start+i)%h.depth])
+	}
+	return out
+}
+
+// Start launches the ticker-driven scrape loop, beginning with one
+// immediate sample. No-op when already started or on a nil history.
+func (h *History) Start() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stop = make(chan struct{})
+	h.stopped = make(chan struct{})
+	stop, stopped := h.stop, h.stopped
+	h.mu.Unlock()
+	h.Sample(time.Now())
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(h.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				h.Sample(now)
+			}
+		}
+	}()
+}
+
+// Stop terminates the scrape loop and waits for its goroutine to exit.
+// Idempotent and nil-safe.
+func (h *History) Stop() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	stop, stopped := h.stop, h.stopped
+	h.stop, h.stopped = nil, nil
+	h.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+}
+
+// HistorySnapshot is the JSON document served at /metrics/history.
+type HistorySnapshot struct {
+	Schema          string         `json:"schema"`
+	IntervalSeconds float64        `json:"interval_seconds"`
+	Points          []HistoryPoint `json:"points"`
+}
+
+// Snapshot assembles the exportable document. Nil-safe (zero snapshot
+// with the schema stamp).
+func (h *History) Snapshot() HistorySnapshot {
+	return HistorySnapshot{
+		Schema:          HistorySchema,
+		IntervalSeconds: h.Interval().Seconds(),
+		Points:          h.Points(),
+	}
+}

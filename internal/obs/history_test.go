@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The ring must wrap: after depth+k samples only the newest depth
+// points survive, oldest-first.
+func TestHistoryRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_v", "")
+	h := NewHistory(reg, 4, time.Second)
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 7; i++ {
+		g.Set(int64(i))
+		h.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	pts := h.Points()
+	if len(pts) != 4 {
+		t.Fatalf("len(points) = %d, want 4", len(pts))
+	}
+	for i, p := range pts {
+		wantVal := float64(3 + i) // samples 3..6 survive
+		wantMs := base.Add(time.Duration(3+i) * time.Second).UnixMilli()
+		if p.Values["test_v"] != wantVal || p.UnixMillis != wantMs {
+			t.Errorf("point %d = (%v, %d), want (%v, %d)",
+				i, p.Values["test_v"], p.UnixMillis, wantVal, wantMs)
+		}
+	}
+	// Partial fill stays ordered too.
+	h2 := NewHistory(reg, 8, time.Second)
+	h2.Sample(base)
+	h2.Sample(base.Add(time.Second))
+	if got := h2.Points(); len(got) != 2 || got[0].UnixMillis >= got[1].UnixMillis {
+		t.Fatalf("partial ring out of order: %+v", got)
+	}
+}
+
+func TestHistoryHooksAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_c", "").Add(5)
+	h := NewHistory(reg, 4, time.Second)
+	var beforeCalls, sampleCalls int
+	h.BeforeScrape = func() { beforeCalls++ }
+	h.OnSample = func(p HistoryPoint) {
+		sampleCalls++
+		if p.Values["test_c"] != 5 {
+			t.Errorf("OnSample saw %v, want 5", p.Values["test_c"])
+		}
+	}
+	h.Sample(time.UnixMilli(42))
+	if beforeCalls != 1 || sampleCalls != 1 {
+		t.Fatalf("hooks called %d/%d times, want 1/1", beforeCalls, sampleCalls)
+	}
+
+	rec := httptest.NewRecorder()
+	HistoryHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/history", nil))
+	var snap HistorySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != HistorySchema {
+		t.Fatalf("schema = %q, want %q", snap.Schema, HistorySchema)
+	}
+	if snap.IntervalSeconds != 1 {
+		t.Fatalf("interval = %v, want 1", snap.IntervalSeconds)
+	}
+	if len(snap.Points) != 1 || snap.Points[0].Values["test_c"] != 5 {
+		t.Fatalf("points round-trip failed: %+v", snap.Points)
+	}
+}
+
+// Flatten key grammar: plain, labeled, histogram suffixes, quantile
+// suffixes.
+func TestRegistryFlatten(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "").Add(3)
+	reg.GaugeFamily("test_depth", "", "worker").With("w1").Set(7)
+	reg.FloatGauge("test_ratio", "").Set(0.5)
+	reg.Histogram("test_hist", "", []float64{1, 2}).Observe(1.5)
+	q := reg.QuantileFamily("test_lat", "", "kind").With("a")
+	q.Observe(0.25)
+	q.Observe(0.25)
+
+	flat := reg.Flatten()
+	checks := map[string]float64{
+		"test_total":               3,
+		`test_depth{worker="w1"}`:  7,
+		"test_ratio":               0.5,
+		"test_hist_count":          1,
+		"test_hist_sum":            1.5,
+		`test_lat_count{kind="a"}`: 2,
+		`test_lat_sum{kind="a"}`:   0.5,
+	}
+	for k, want := range checks {
+		if got, ok := flat[k]; !ok || got != want {
+			t.Errorf("flat[%q] = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+	p50, ok := flat[`test_lat_p50{kind="a"}`]
+	if !ok || p50 <= 0 {
+		t.Errorf("quantile p50 key missing or zero: %v (present=%v)", p50, ok)
+	}
+	if _, ok := flat[`test_lat_p999{kind="a"}`]; !ok {
+		t.Error("quantile p999 key missing")
+	}
+
+	var nilReg *Registry
+	if nilReg.Flatten() != nil {
+		t.Error("nil registry Flatten must be nil")
+	}
+}
+
+func TestHistoryStartStopLeakFree(t *testing.T) {
+	var nilH *History
+	nilH.Sample(time.Now())
+	nilH.Start()
+	nilH.Stop()
+	if nilH.Points() != nil || nilH.Interval() != 0 {
+		t.Fatal("nil history must be inert")
+	}
+
+	reg := NewRegistry()
+	h := NewHistory(reg, 16, 100*time.Millisecond)
+	h.Start()
+	h.Start() // no-op
+	h.Stop()
+	h.Stop() // no-op
+	if len(h.Points()) < 1 {
+		t.Fatal("Start must take an immediate sample")
+	}
+}

@@ -203,6 +203,8 @@ const (
 	counterKind kind = iota
 	gaugeKind
 	histogramKind
+	floatGaugeKind
+	quantileKind
 )
 
 func (k kind) String() string {
@@ -211,8 +213,25 @@ func (k kind) String() string {
 		return "counter"
 	case gaugeKind:
 		return "gauge"
-	default:
+	case histogramKind:
 		return "histogram"
+	case floatGaugeKind:
+		return "floatgauge"
+	default:
+		return "quantile"
+	}
+}
+
+// promType is the Prometheus TYPE keyword for a kind: float gauges are
+// plain gauges on the wire, quantile histograms are summaries.
+func (k kind) promType() string {
+	switch k {
+	case floatGaugeKind:
+		return "gauge"
+	case quantileKind:
+		return "summary"
+	default:
+		return k.String()
 	}
 }
 
@@ -222,6 +241,8 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	fgauge  *FloatGauge
+	quant   *QuantileHistogram
 }
 
 // family groups all series of one metric name.
@@ -257,6 +278,10 @@ func (f *family) get(values []string) *series {
 			s.gauge = &Gauge{}
 		case histogramKind:
 			s.hist = NewHistogram(f.buckets)
+		case floatGaugeKind:
+			s.fgauge = &FloatGauge{}
+		case quantileKind:
+			s.quant = NewQuantileHistogram()
 		}
 		f.series[key] = s
 	}
@@ -401,4 +426,52 @@ func (hf *HistogramFamily) With(labelValues ...string) *Histogram {
 		return nil
 	}
 	return hf.f.get(labelValues).hist
+}
+
+// FloatGauge registers (or returns) an unlabeled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.family(name, help, floatGaugeKind, nil, nil).get(nil).fgauge
+}
+
+// FloatGaugeFamily is a labeled float-gauge family; With resolves one
+// series.
+type FloatGaugeFamily struct{ f *family }
+
+// FloatGaugeFamily registers (or returns) a float-gauge family keyed by
+// the given label names.
+func (r *Registry) FloatGaugeFamily(name, help string, labelNames ...string) *FloatGaugeFamily {
+	return &FloatGaugeFamily{r.family(name, help, floatGaugeKind, labelNames, nil)}
+}
+
+// With returns the float gauge for the given label values.
+func (gf *FloatGaugeFamily) With(labelValues ...string) *FloatGauge {
+	if gf == nil {
+		return nil
+	}
+	return gf.f.get(labelValues).fgauge
+}
+
+// Quantile registers (or returns) an unlabeled quantile histogram —
+// the log-linear HDR-style instrument exported as a Prometheus summary
+// with p50/p90/p99/p999 series.
+func (r *Registry) Quantile(name, help string) *QuantileHistogram {
+	return r.family(name, help, quantileKind, nil, nil).get(nil).quant
+}
+
+// QuantileFamily is a labeled quantile-histogram family; With resolves
+// one series.
+type QuantileFamily struct{ f *family }
+
+// QuantileFamily registers (or returns) a quantile-histogram family
+// keyed by the given label names.
+func (r *Registry) QuantileFamily(name, help string, labelNames ...string) *QuantileFamily {
+	return &QuantileFamily{r.family(name, help, quantileKind, labelNames, nil)}
+}
+
+// With returns the quantile histogram for the given label values.
+func (qf *QuantileFamily) With(labelValues ...string) *QuantileHistogram {
+	if qf == nil {
+		return nil
+	}
+	return qf.f.get(labelValues).quant
 }

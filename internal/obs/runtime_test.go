@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	rm "runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+// One deterministic Collect must populate the always-true runtime
+// facts: goroutines exist and the heap is non-empty.
+func TestRuntimeCollectorCollect(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	s := c.Snapshot()
+	if s.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", s.Goroutines)
+	}
+	if s.HeapBytes <= 0 {
+		t.Fatalf("heap bytes = %d, want > 0", s.HeapBytes)
+	}
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"bfbp_runtime_heap_bytes",
+		"bfbp_runtime_goroutines",
+		"bfbp_runtime_gc_cycles_total",
+		`bfbp_runtime_gc_pause_seconds{q="0.99"}`,
+		`bfbp_runtime_sched_latency_seconds{q="max"}`,
+	} {
+		if !strings.Contains(prom.String(), frag) {
+			t.Errorf("runtime export missing %q", frag)
+		}
+	}
+}
+
+// runtimeHistQuantile against a hand-built histogram with known mass,
+// including the infinite edge buckets runtime/metrics uses.
+func TestRuntimeHistQuantile(t *testing.T) {
+	h := &rm.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10, 0},
+		Buckets: []float64{math.Inf(-1), 1, 2, 4, 8, math.Inf(+1)},
+	}
+	if got := runtimeHistQuantile(h, 0.5); got != 4 {
+		t.Fatalf("p50 = %v, want 4 (upper edge of the 80%% bucket)", got)
+	}
+	if got := runtimeHistQuantile(h, 0.05); got != 2 {
+		t.Fatalf("p05 = %v, want 2", got)
+	}
+	if got := runtimeHistQuantile(h, 1); got != 8 {
+		t.Fatalf("max = %v, want 8", got)
+	}
+	// Mass in the +Inf bucket falls back to the finite lower edge.
+	h2 := &rm.Float64Histogram{
+		Counts:  []uint64{1},
+		Buckets: []float64{4, math.Inf(+1)},
+	}
+	if got := runtimeHistQuantile(h2, 1); got != 4 {
+		t.Fatalf("inf-bucket max = %v, want 4", got)
+	}
+	empty := &rm.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := runtimeHistQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// Start/Stop must not leak the ticker goroutine, and both must be
+// idempotent and nil-safe.
+func TestRuntimeCollectorStartStopLeakFree(t *testing.T) {
+	var nilC *RuntimeCollector
+	nilC.Collect()
+	nilC.Start(time.Millisecond)
+	nilC.Stop() // all no-ops
+
+	c := NewRuntimeCollector(NewRegistry())
+	for i := 0; i < 5; i++ {
+		c.Start(time.Millisecond)
+		c.Start(time.Millisecond) // second Start is a no-op
+		time.Sleep(3 * time.Millisecond)
+		c.Stop()
+		c.Stop() // second Stop is a no-op
+	}
+	// Stop waits for the goroutine, so reaching here without deadlock
+	// or a -race report is the assertion; the telemetry-level leak test
+	// covers goroutine counting.
+	if c.Snapshot().Goroutines < 1 {
+		t.Fatal("collector never collected")
+	}
+}

@@ -51,7 +51,7 @@ type Tracer struct {
 	start    time.Time
 	nextID   atomic.Uint64
 	inFlight atomic.Int64
-	spanDur  *HistogramFamily
+	spanDur  *QuantileFamily
 
 	mu     sync.Mutex
 	buf    *bufio.Writer
@@ -73,21 +73,17 @@ func NewTracer(w io.Writer) *Tracer {
 	return t
 }
 
-// Instrument registers the bfbp_span_seconds{kind} duration histogram
-// on reg; every subsequent span End (and Phase) aggregates into it, so
-// the metrics surface carries per-span-kind time even when no trace
-// file is kept. Nil-safe on both sides.
+// Instrument registers the bfbp_span_seconds{kind} duration quantile
+// histogram on reg; every subsequent span End (and Phase) aggregates
+// into it, so the metrics surface carries per-span-kind p50/p99 time
+// even when no trace file is kept. Nil-safe on both sides.
 func (t *Tracer) Instrument(reg *Registry) {
 	if t == nil || reg == nil {
 		return
 	}
-	t.spanDur = reg.HistogramFamily("bfbp_span_seconds",
-		"execution-span durations by span kind", spanBuckets(), "kind")
+	t.spanDur = reg.QuantileFamily("bfbp_span_seconds",
+		"execution-span durations by span kind (summary quantiles)", "kind")
 }
-
-// spanBuckets spans 1µs to ~4.2s in factor-4 steps: batch spans sit in
-// the middle, suite spans at the top, sampled phases at the bottom.
-func spanBuckets() []float64 { return ExpBuckets(1e-6, 4, 12) }
 
 // InFlight returns the number of started-but-unended spans, for
 // heartbeat lines. Nil-safe.

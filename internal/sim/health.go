@@ -1,0 +1,30 @@
+package sim
+
+import "bfbp/internal/obs"
+
+// journalHealth is the bfbp.journal.v1 payload for a run-health state
+// transition: the evaluator moved from one aggregate state to another,
+// with the names of the rules firing after the change.
+type journalHealth struct {
+	From   string   `json:"from"`
+	To     string   `json:"to"`
+	Causes []string `json:"causes,omitempty"`
+	Span   uint64   `json:"span,omitempty"`
+}
+
+// JournalHealth emits a health event: the obs.Health evaluator
+// transitioned from one state to another because of the named rules.
+// The telemetry layer wires this into Health.OnTransition so journals
+// record when and why a run degraded or recovered. Span is always 0
+// today (health ticks are not spanned) but kept for the correlation
+// contract. Nil-safe on j.
+func JournalHealth(j *obs.Journal, from, to obs.HealthState, causes []string) {
+	if j == nil {
+		return
+	}
+	j.Emit("health", journalHealth{
+		From:   from.String(),
+		To:     to.String(),
+		Causes: causes,
+	})
+}

@@ -94,6 +94,7 @@ func TestJournalPayloadsCarrySpanTag(t *testing.T) {
 		"provenance":            journalProvenance{},
 		"component_attribution": journalComponentAttribution{},
 		"checkpoint":            journalCheckpoint{},
+		"health":                journalHealth{},
 	}
 	for _, k := range JournalEventKinds() {
 		if _, ok := payloads[k]; !ok {

@@ -14,14 +14,6 @@ import (
 // metrics_test.go pins this) — and nil-safe, so instrumented code never
 // branches on "telemetry enabled?" at observation sites.
 
-// Latency buckets for predict/update probes: 16 exponential buckets
-// from 25ns to ~800µs, wide enough for every predictor in the registry
-// and for pathological GC pauses to stay visible in +Inf.
-func latencyBuckets() []float64 { return obs.ExpBuckets(25e-9, 2, 16) }
-
-// Run-duration buckets: 1ms to ~65s.
-func runBuckets() []float64 { return obs.ExpBuckets(1e-3, 2, 17) }
-
 // Throughput buckets: 100K to ~400M branches/sec.
 func rateBuckets() []float64 { return obs.ExpBuckets(1e5, 2, 12) }
 
@@ -30,17 +22,19 @@ func rateBuckets() []float64 { return obs.ExpBuckets(1e5, 2, 12) }
 // one to Engine.Metrics; every Run then updates it. A nil
 // *EngineMetrics disables collection.
 type EngineMetrics struct {
-	workers     *obs.Gauge
-	queueDepth  *obs.Gauge
-	busyWorkers *obs.Gauge
-	runs        *obs.CounterFamily
-	runsOK      *obs.Counter
-	runsFailed  *obs.Counter
-	branches    *obs.Counter
-	runSeconds  *obs.HistogramFamily
-	branchRate  *obs.Histogram
-	predictLat  *obs.Histogram
-	updateLat   *obs.Histogram
+	workers      *obs.Gauge
+	queueDepth   *obs.Gauge
+	busyWorkers  *obs.Gauge
+	runs         *obs.CounterFamily
+	runsOK       *obs.Counter
+	runsFailed   *obs.Counter
+	branches     *obs.Counter
+	mispredicts  *obs.CounterFamily
+	instructions *obs.CounterFamily
+	runSeconds   *obs.QuantileFamily
+	branchRate   *obs.Histogram
+	predictLat   *obs.QuantileHistogram
+	updateLat    *obs.QuantileHistogram
 	// Provenance families, populated only by explained runs
 	// (Options.Explain + an Explainer predictor).
 	mispredictCauses *obs.CounterFamily
@@ -60,14 +54,18 @@ func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
 		busyWorkers: reg.Gauge("bfbp_engine_busy_workers", "workers currently simulating a cell"),
 		runs:        reg.CounterFamily("bfbp_engine_runs_total", "completed matrix cells by status", "status"),
 		branches:    reg.Counter("bfbp_engine_branches_total", "dynamic branches simulated across all runs"),
-		runSeconds: reg.HistogramFamily("bfbp_engine_run_seconds",
-			"per-cell wall time by predictor", runBuckets(), "predictor"),
+		mispredicts: reg.CounterFamily("bfbp_engine_mispredicts_total",
+			"mispredicted branches by predictor", "predictor"),
+		instructions: reg.CounterFamily("bfbp_engine_instructions_total",
+			"instructions covered by completed runs, by predictor", "predictor"),
+		runSeconds: reg.QuantileFamily("bfbp_engine_run_seconds",
+			"per-cell wall time by predictor (summary quantiles)", "predictor"),
 		branchRate: reg.Histogram("bfbp_engine_run_branches_per_second",
 			"per-cell simulation throughput", rateBuckets()),
-		predictLat: reg.Histogram("bfbp_harness_predict_seconds",
-			"sampled Predict latency", latencyBuckets()),
-		updateLat: reg.Histogram("bfbp_harness_update_seconds",
-			"sampled Update latency", latencyBuckets()),
+		predictLat: reg.Quantile("bfbp_harness_predict_seconds",
+			"sampled Predict latency (summary quantiles)"),
+		updateLat: reg.Quantile("bfbp_harness_update_seconds",
+			"sampled Update latency (summary quantiles)"),
 		mispredictCauses: reg.CounterFamily("bfbp_mispredict_total",
 			"explained mispredictions by taxonomy cause", "predictor", "cause"),
 		confMargin: reg.HistogramFamily("bfbp_confidence_margin",
@@ -127,6 +125,8 @@ func (m *EngineMetrics) runFinish(predictor string, st Stats, elapsed time.Durat
 	}
 	m.runsOK.Inc()
 	m.branches.Add(st.Branches)
+	m.mispredicts.With(predictor).Add(st.Mispredicts)
+	m.instructions.With(predictor).Add(st.Instructions)
 	m.runSeconds.With(predictor).Observe(elapsed.Seconds())
 	if s := elapsed.Seconds(); s > 0 {
 		m.branchRate.Observe(float64(st.Branches) / s)
@@ -186,8 +186,8 @@ type HarnessProbe struct {
 	// Every is the sampling period in branches.
 	Every uint64
 	// Predict and Update receive the sampled latencies in seconds.
-	Predict *obs.Histogram
-	Update  *obs.Histogram
+	Predict *obs.QuantileHistogram
+	Update  *obs.QuantileHistogram
 }
 
 // sampleMask returns Every-1 with Every rounded up to a power of two,
@@ -322,7 +322,7 @@ func JournalEventKinds() []string {
 		"suite_start", "suite_finish",
 		"run_start", "run_finish", "run_error",
 		"window", "table_hits", "storage", "worker_state",
-		"provenance", "component_attribution", "checkpoint",
+		"provenance", "component_attribution", "checkpoint", "health",
 	}
 }
 

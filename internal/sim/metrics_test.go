@@ -217,8 +217,8 @@ func TestHarnessProbeSampling(t *testing.T) {
 	reg := obs.NewRegistry()
 	pr := &HarnessProbe{
 		Every:   64,
-		Predict: reg.Histogram("p", "", obs.ExpBuckets(1e-9, 10, 6)),
-		Update:  reg.Histogram("u", "", obs.ExpBuckets(1e-9, 10, 6)),
+		Predict: reg.Quantile("p", ""),
+		Update:  reg.Quantile("u", ""),
 	}
 	recs := mkTrace(make([]bool, 1024))
 	if _, err := Run(&StaticPredictor{}, recs.Stream(), Options{Probe: pr}); err != nil {
@@ -229,7 +229,7 @@ func TestHarnessProbeSampling(t *testing.T) {
 		t.Fatalf("samples = %d/%d, want 16/16", pr.Predict.Count(), pr.Update.Count())
 	}
 	// Probe with delayed update still samples the update path.
-	pr2 := &HarnessProbe{Every: 64, Predict: pr.Predict, Update: reg.Histogram("u2", "", obs.ExpBuckets(1e-9, 10, 6))}
+	pr2 := &HarnessProbe{Every: 64, Predict: pr.Predict, Update: reg.Quantile("u2", "")}
 	if _, err := Run(&StaticPredictor{}, recs.Stream(), Options{Probe: pr2, UpdateDelay: 8}); err != nil {
 		t.Fatal(err)
 	}
