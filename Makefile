@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke obs-smoke
+.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke obs-smoke drift-smoke
 
 all: check
 
@@ -92,6 +92,23 @@ obs-smoke:
 	kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
 	rm -f bfsim_obs_ci bfstat_obs_ci; \
 	[ $$ok -eq 1 ] && echo "obs-smoke: ok"
+
+# Drift/flight smoke: a short endurance run with the change-point layer
+# on. The phase boundaries between spliced trace segments must fire at
+# least one drift alarm (journal `drift` events), the Perfetto timeline
+# must carry counter tracks ("ph":"C" events), and the flight dump must
+# round-trip through `journal flight`. Leaves drift_ci.* behind for
+# artifact upload.
+drift-smoke:
+	@set -e; \
+	$(GO) run ./cmd/bfsim -p bf-tage-10 -t SERV1,FP1,MM1 -n 200000 -endurance 2 \
+		-drift -journal drift_ci.jsonl -trace-out drift_ci.trace.json \
+		-flight-dump drift_ci.flight.json > /dev/null; \
+	grep -q '"ph":"C"' drift_ci.trace.json || { echo "drift-smoke: no counter tracks in timeline"; exit 1; }; \
+	drifts=$$($(GO) run ./cmd/journal summary -json drift_ci.jsonl | grep -c '"metric"' || true); \
+	[ $$drifts -ge 1 ] || { echo "drift-smoke: no drift alarms in journal"; exit 1; }; \
+	$(GO) run ./cmd/journal flight drift_ci.flight.json > /dev/null; \
+	echo "drift-smoke: ok ($$drifts drift alarms)"
 
 # Go microbenchmarks (root package + engine/telemetry overhead).
 BENCHTIME ?= 1s

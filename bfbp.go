@@ -134,6 +134,24 @@ type (
 	Tracer = obs.Tracer
 	// Span is one timed slice of a Tracer's timeline.
 	Span = obs.Span
+	// DriftDetector is a streaming change-point detector (EWMA baseline
+	// + Page-Hinkley alarm) over one metric series.
+	DriftDetector = obs.DriftDetector
+	// DriftConfig parameterises a DriftDetector; the zero value selects
+	// sane defaults.
+	DriftConfig = obs.DriftConfig
+	// DriftEvent describes one change-point alarm.
+	DriftEvent = obs.DriftEvent
+	// DriftState is a point-in-time snapshot of a DriftDetector.
+	DriftState = obs.DriftState
+	// FlightRecorder is a bounded ring of recent journal lines; tee a
+	// Journal's writer through it and Snapshot on incidents.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is one bfbp.flight.v1 incident snapshot.
+	FlightDump = obs.FlightDump
+	// WindowEvent is one closed metrics window, delivered to
+	// Options.OnWindow / Engine.WindowHook as a run progresses.
+	WindowEvent = sim.WindowEvent
 	// EngineMetrics is the engine metric set; assign to Engine.Metrics.
 	EngineMetrics = sim.EngineMetrics
 	// EngineSnapshot is a point-in-time read of the engine metrics.
@@ -224,6 +242,25 @@ func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
 // the file. Journal events carry the matching span IDs in their "span"
 // field.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewDriftDetector returns a streaming change-point detector; feed it
+// one value per window with Observe.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector { return obs.NewDriftDetector(cfg) }
+
+// NewFlightRecorder returns a flight-recorder ring retaining the last
+// depth journal lines (0 selects the default depth); write journal
+// output through it (io.MultiWriter) and Snapshot on incidents.
+func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlightRecorder(depth) }
+
+// ReadFlightDump parses a bfbp.flight.v1 flight-recorder dump.
+func ReadFlightDump(r io.Reader) (FlightDump, error) { return obs.ReadFlightDump(r) }
+
+// FlightSchema is the schema tag of flight-recorder dumps.
+const FlightSchema = obs.FlightSchema
+
+// ConcatTraces returns a reader that yields each reader's records in
+// sequence — the splice primitive behind bfsim -endurance.
+func ConcatTraces(readers ...TraceReader) TraceReader { return trace.Concat(readers...) }
 
 // Aggregate health states, ordered by severity.
 const (

@@ -10,6 +10,7 @@
 //	analyze -t SPEC06 -population                         # branch classes only
 //	analyze -t SERV1 -p tage-8,bf-tage-8 -explain         # provenance + paper-shape
 //	analyze -t SPEC03 -p bf-neural -warmstart             # cold vs warm MPKI curve
+//	analyze -t SERV3 -p bf-tage-10 -phases                # MPKI phase segments + movers
 //	analyze -t SPEC03 -p gshare -interference SERV1       # context-switch penalty
 //
 // Long attributions can be observed live like the other commands:
@@ -28,6 +29,7 @@ import (
 	"bfbp"
 	"bfbp/internal/analysis"
 	"bfbp/internal/experiments"
+	"bfbp/internal/obs"
 	"bfbp/internal/sim"
 	"bfbp/internal/telemetry"
 	"bfbp/internal/workload"
@@ -35,17 +37,20 @@ import (
 
 func main() {
 	var (
-		traceName  = flag.String("t", "", "synthetic trace name")
-		preds      = flag.String("p", "", "comma-separated predictor names (bfsim names)")
-		branches   = flag.Int("n", 400_000, "dynamic branches")
-		offenders  = flag.Int("offenders", 0, "print the top-N mispredicted PCs with classes")
-		population = flag.Bool("population", false, "print the branch population summary and exit")
-		explain    = flag.Bool("explain", false, "decision provenance: cause taxonomy, component/bank attribution, paper-shape check")
-		explainNN  = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
-		warmstart  = flag.Bool("warmstart", false, "cold vs warm MPKI windows via a bfbp.state.v1 snapshot")
-		windows    = flag.Int("windows", 10, "window count for -warmstart")
-		interfere  = flag.String("interference", "", "second trace: context-switch interference between -t and this trace")
-		quantum    = flag.Int("quantum", 2000, "context-switch quantum in branches for -interference")
+		traceName   = flag.String("t", "", "synthetic trace name")
+		preds       = flag.String("p", "", "comma-separated predictor names (bfsim names)")
+		branches    = flag.Int("n", 400_000, "dynamic branches")
+		offenders   = flag.Int("offenders", 0, "print the top-N mispredicted PCs with classes")
+		population  = flag.Bool("population", false, "print the branch population summary and exit")
+		explain     = flag.Bool("explain", false, "decision provenance: cause taxonomy, component/bank attribution, paper-shape check")
+		explainNN   = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
+		phases      = flag.Bool("phases", false, "segment the run at MPKI change points and rank phase-sensitive branch sites")
+		phaseWindow = flag.Uint64("phase-window", 0, "MPKI window in branches for -phases (0 = branches/50)")
+
+		warmstart = flag.Bool("warmstart", false, "cold vs warm MPKI windows via a bfbp.state.v1 snapshot")
+		windows   = flag.Int("windows", 10, "window count for -warmstart")
+		interfere = flag.String("interference", "", "second trace: context-switch interference between -t and this trace")
+		quantum   = flag.Int("quantum", 2000, "context-switch quantum in branches for -interference")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics/history, /healthz, /debug/pprof on this address")
 		journalPath = flag.String("journal", "", "write bfbp.journal.v1 JSONL events to this file")
@@ -98,6 +103,27 @@ func main() {
 	ps := make([]sim.Predictor, len(infos))
 	for i, info := range infos {
 		ps[i] = info.New()
+	}
+
+	if *phases {
+		win := *phaseWindow
+		if win == 0 {
+			win = uint64(*branches / 50)
+			if win == 0 {
+				win = 1
+			}
+		}
+		for _, p := range ps {
+			rep, err := analysis.AnalyzePhases(p, spec.Stream(*branches), spec.Name, p.Name(), win, obs.DriftConfig{}, *offenders)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
 	}
 
 	if *warmstart || *interfere != "" {

@@ -35,6 +35,19 @@
 //	bfsim ... -trace-out run.trace.json          # bfbp.trace.v1 span timeline (Perfetto)
 //	bfsim ... -runtime-trace run.rtrace          # Go runtime/trace with bridged spans
 //
+// Phase and drift observability (see DESIGN.md §6): -drift runs
+// streaming change-point detectors over every windowed (trace,
+// predictor) MPKI series and the engine throughput, emitting `drift`
+// journal events, Perfetto counter tracks (with alarm instants) on the
+// -trace-out timeline, and bfbp_drift_* metrics; -flight-dump keeps a
+// ring of recent journal lines and snapshots it (bfbp.flight.v1) on
+// every alarm and on SIGQUIT; -endurance splices reseeded synthetic
+// segments into one long phase-shifting run:
+//
+//	bfsim -p bf-tage-10 -t SERV1,FP1,MM1 -n 1000000 -endurance 20 \
+//	      -drift -journal run.jsonl -trace-out run.trace.json \
+//	      -flight-dump flight.json            # 60M-branch mixed-phase run
+//
 // Run-to-completion profiles land in files for `go tool pprof`:
 //
 //	bfsim ... -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -90,6 +103,10 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
 		rtraceOut   = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
+
+		endurance  = flag.Int("endurance", 0, "splice the -t traces into one continuous run of N laps, -n branches per segment, reseeded per lap (phase-shifting long-run mode)")
+		drift      = flag.Bool("drift", false, "run streaming change-point detectors over windowed MPKI and engine throughput (drift journal events, counter tracks, alarm metrics)")
+		flightDump = flag.String("flight-dump", "", "write a bfbp.flight.v1 flight-recorder snapshot to this file on every drift alarm and on SIGQUIT (implies -drift)")
 	)
 	prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -126,6 +143,23 @@ func main() {
 	sources, defaultWarm, err := traceSources(*traceFile, *traceName, *branches)
 	if err != nil {
 		fatal(err)
+	}
+	if *endurance > 0 {
+		if *traceFile != "" {
+			fatal(fmt.Errorf("-endurance needs synthetic -t traces, not -f"))
+		}
+		sources, err = enduranceSources(*traceName, *endurance, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		// Phase detection needs a windowed series; default to ten
+		// windows per segment so every splice point is visible.
+		if *window == 0 {
+			*window = uint64(*branches / 10)
+			if *window == 0 {
+				*window = 1
+			}
+		}
 	}
 
 	if *checkpointPath != "" || *resumePath != "" || *skip > 0 {
@@ -171,6 +205,8 @@ func main() {
 		Heartbeat:        *heartbeat,
 		TracePath:        *traceOut,
 		RuntimeTracePath: *rtraceOut,
+		Drift:            *drift,
+		FlightPath:       *flightDump,
 	})
 	if err != nil {
 		fatal(err)
@@ -277,6 +313,45 @@ func traceSources(file, names string, branches int) ([]bfbp.TraceSource, int, er
 		out = append(out, spec.Source(branches))
 	}
 	return out, branches / 10, nil
+}
+
+// enduranceSources splices the named synthetic traces into one
+// continuous source: laps round-robin passes over the trace list, one
+// segment of branches records each, every lap reseeded so no segment
+// repeats byte-for-byte. Segments are materialised lazily as the read
+// cursor reaches them, so a 50M-branch endurance run holds one open
+// segment at a time. The trace-family changes at every splice point
+// are exactly the MPKI phase shifts the drift layer detects.
+func enduranceSources(names string, laps, branches int) ([]bfbp.TraceSource, error) {
+	if names == "" {
+		return nil, fmt.Errorf("-endurance needs -t <traces>")
+	}
+	want := strings.Split(names, ",")
+	if names == "all" {
+		want = bfbp.TraceNames()
+	}
+	specs := make([]bfbp.TraceSpec, 0, len(want))
+	for _, name := range want {
+		spec, ok := bfbp.TraceByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown trace %q", name)
+		}
+		specs = append(specs, spec)
+	}
+	label := fmt.Sprintf("endurance(%s x%d)", names, laps)
+	total := laps * len(specs)
+	src := bfbp.FuncSource{Label: label, OpenFn: func() bfbp.TraceReader {
+		i := 0
+		return trace.ConcatFunc(func() trace.Reader {
+			if i >= total {
+				return nil
+			}
+			spec := specs[i%len(specs)].Reseed(uint64(i / len(specs)))
+			i++
+			return spec.Stream(branches)
+		})
+	}}
+	return []bfbp.TraceSource{src}, nil
 }
 
 func printText(results []bfbp.RunResult, showTrace bool, offenders int, tableHits bool) {

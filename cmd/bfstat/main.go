@@ -2,7 +2,8 @@
 // (bfsim, experiments, bench, or analyze started with -metrics-addr).
 // It polls /debug/vars, /metrics/history, and /healthz and renders
 // engine throughput with a sparkline, per-predictor MPKI, worker and
-// queue state, latency quantiles, runtime health, and the health-rule
+// queue state, latency quantiles, runtime health, the drift-detector
+// panel (when the process runs with -drift), and the health-rule
 // report — a top(1) for suite runs, with no dependencies beyond the
 // stdlib.
 //
@@ -10,10 +11,14 @@
 //
 //	bfstat                                  # poll localhost:8080 every second
 //	bfstat -addr 127.0.0.1:9377 -interval 2s
-//	bfstat -once                            # render one frame and exit
+//	bfstat -once                            # one frame; exit 1 if unhealthy
 //	bfstat -once -require-quantiles         # also fail if no latency quantiles yet
 //	bfstat -wait 10s -once                  # wait for the endpoint to come up
 //	bfstat -get /healthz                    # dump one raw endpoint (curl substitute)
+//
+// -once doubles as a CI probe: after rendering the frame it exits
+// non-zero when /healthz reports state "unhealthy", so a pipeline step
+// can assert a run finished with its health rules green.
 package main
 
 import (
@@ -69,6 +74,11 @@ func main() {
 			if err := requireQuantiles(frame.vars, strings.Split(*requireQ, ",")); err != nil {
 				fatal(err)
 			}
+		}
+		// A one-shot frame doubles as a CI probe: an unhealthy process
+		// fails the check, not just the eye test.
+		if frame.health.State == "unhealthy" {
+			fatal(fmt.Errorf("process is unhealthy (see health rules above)"))
 		}
 		return
 	}
@@ -273,6 +283,32 @@ func render(f frame, addr string) string {
 		human(v.num("bfbp_runtime_heap_bytes")), int64(v.num("bfbp_runtime_goroutines")),
 		int64(v.num("bfbp_runtime_gc_cycles_total")), secs(gcP99), secs(latP99))
 
+	// Drift panel: change-point detector state and alarms, present only
+	// when the observed process runs with -drift.
+	baselines := v.family("bfbp_drift_baseline")
+	if len(baselines) > 0 {
+		alarms := v.family("bfbp_drift_alarms_total")
+		scores := v.family("bfbp_drift_score")
+		series := make([]string, 0, len(baselines))
+		for s := range baselines {
+			series = append(series, s)
+		}
+		sort.Strings(series)
+		fmt.Fprintf(&b, "\ndrift    %d series watched  %.0f alarms  %.0f flight dumps\n",
+			len(series), sum(alarms), v.num("bfbp_flight_dumps_total"))
+		for _, s := range series {
+			base, _ := baselines[s].(float64)
+			score, _ := scores[s].(float64)
+			fired, _ := alarms[s].(float64)
+			mark := "  "
+			if fired > 0 {
+				mark = "!!"
+			}
+			fmt.Fprintf(&b, " %s %-40s baseline %10.3f  score %6.3f  alarms %.0f\n",
+				mark, s, base, score, fired)
+		}
+	}
+
 	// Health rules.
 	if len(f.health.Rules) > 0 {
 		b.WriteString("\nhealth rules\n")
@@ -331,6 +367,17 @@ func sparkline(vals []float64) string {
 		b.WriteRune([]rune(ramp)[idx])
 	}
 	return b.String()
+}
+
+// sum totals every series of a labeled family.
+func sum(fam map[string]any) float64 {
+	var total float64
+	for _, raw := range fam {
+		if v, ok := raw.(float64); ok {
+			total += v
+		}
+	}
+	return total
 }
 
 // requireQuantiles fails unless every named quantile metric (unlabeled,

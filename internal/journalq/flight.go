@@ -1,0 +1,32 @@
+package journalq
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"bfbp/internal/obs"
+)
+
+// ReadFlight parses a bfbp.flight.v1 flight-recorder dump and decodes
+// the journal records embedded in it into events — the dump's records
+// are verbatim bfbp.journal.v1 lines, so the same filters and
+// summaries that work on a journal file work on a dump.
+func ReadFlight(r io.Reader) (obs.FlightDump, []Event, error) {
+	dump, err := obs.ReadFlightDump(r)
+	if err != nil {
+		return dump, nil, err
+	}
+	// The dump is written indented, which re-flows the raw records
+	// across lines; compact each one back to the single-line journal
+	// form before handing the stream to the line-based reader.
+	var buf bytes.Buffer
+	for _, rec := range dump.Records {
+		if err := json.Compact(&buf, rec); err != nil {
+			return dump, nil, err
+		}
+		buf.WriteByte('\n')
+	}
+	events, err := Read(&buf)
+	return dump, events, err
+}

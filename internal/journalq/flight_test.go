@@ -1,0 +1,125 @@
+package journalq
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbp/internal/obs"
+)
+
+type driftPayload struct {
+	Trace     string  `json:"trace,omitempty"`
+	Predictor string  `json:"predictor,omitempty"`
+	Metric    string  `json:"metric"`
+	Window    int     `json:"window"`
+	Value     float64 `json:"value"`
+	Baseline  float64 `json:"baseline"`
+	Direction string  `json:"direction"`
+}
+
+// Summaries surface drift alarms as typed rows, in both the text and
+// JSON renderings.
+func TestSummarizeDriftEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	j.Clock = func() time.Time { return time.Unix(0, 0).UTC() }
+	j.Emit("window", window{Trace: "SERV1", Predictor: "bf-tage-10", Index: 9, MPKI: 4.1})
+	j.Emit("drift", driftPayload{Trace: "SERV1", Predictor: "bf-tage-10", Metric: "mpki", Window: 10, Value: 9.4, Baseline: 4.2, Direction: "up"})
+	j.Emit("drift", driftPayload{Metric: "throughput", Window: -1, Value: 2e5, Baseline: 1e6, Direction: "down"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if len(s.Drifts) != 2 {
+		t.Fatalf("got %d drift rows, want 2: %+v", len(s.Drifts), s.Drifts)
+	}
+	d := s.Drifts[0]
+	if d.Trace != "SERV1" || d.Metric != "mpki" || d.Window != 10 || d.Direction != "up" {
+		t.Fatalf("drift row = %+v", d)
+	}
+	if s.Drifts[1].Metric != "throughput" || s.Drifts[1].Window != -1 {
+		t.Fatalf("engine drift row = %+v", s.Drifts[1])
+	}
+	out := s.Render()
+	for _, frag := range []string{"drift alarms:", "SERV1/bf-tage-10 mpki", "up", "throughput"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// The JSON shape is the journal summary -json contract.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Events int            `json:"events"`
+		ByKind map[string]int `json:"by_kind"`
+		Drifts []DriftLine    `json:"drifts"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Events != 3 || decoded.ByKind["drift"] != 2 || len(decoded.Drifts) != 2 {
+		t.Fatalf("JSON round-trip = %+v", decoded)
+	}
+}
+
+// A flight dump's embedded records parse back into events through the
+// same reader as a journal file, even though the dump file is written
+// indented.
+func TestReadFlight(t *testing.T) {
+	var jb bytes.Buffer
+	f := obs.NewFlightRecorder(8)
+	j := obs.NewJournal(tee{&jb, f})
+	j.Clock = func() time.Time { return time.Unix(0, 0).UTC() }
+	j.Emit("window", window{Trace: "SERV1", Predictor: "bimodal", Index: 0, MPKI: 4.0})
+	j.Emit("drift", driftPayload{Trace: "SERV1", Predictor: "bimodal", Metric: "mpki", Window: 1, Value: 9, Baseline: 4, Direction: "up"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ev := obs.DriftEvent{Sample: 1, Value: 9, Baseline: 4, Score: 1.1, Direction: "up"}
+	dump := f.Snapshot("alarm", "SERV1/bimodal mpki", &ev, nil)
+	var out bytes.Buffer
+	if err := dump.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	got, events, err := ReadFlight(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "alarm" || got.Alarm == nil {
+		t.Fatalf("dump header = %+v", got)
+	}
+	if len(events) != 2 || events[0].Kind != "window" || events[1].Kind != "drift" {
+		t.Fatalf("embedded events = %+v", events)
+	}
+	s := Summarize(events)
+	if len(s.Drifts) != 1 || s.Drifts[0].Value != 9 {
+		t.Fatalf("embedded summary drifts = %+v", s.Drifts)
+	}
+
+	if _, _, err := ReadFlight(strings.NewReader(`{"schema":"bfbp.journal.v1"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// tee splits journal writes into the recorder like telemetry.Start does.
+type tee struct {
+	a *bytes.Buffer
+	b *obs.FlightRecorder
+}
+
+func (w tee) Write(p []byte) (int, error) {
+	if n, err := w.a.Write(p); err != nil {
+		return n, err
+	}
+	return w.b.Write(p)
+}

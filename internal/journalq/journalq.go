@@ -111,22 +111,36 @@ func (f Filter) Apply(events []Event) []Event {
 	return out
 }
 
-// RunLine is one run_finish row of a summary.
+// RunLine is one run_finish row of a summary. The json tags define the
+// `journal summary -json` output shape.
 type RunLine struct {
-	Trace       string
-	Predictor   string
-	Branches    uint64
-	Mispredicts uint64
-	MPKI        float64
-	Span        uint64
+	Trace       string  `json:"trace"`
+	Predictor   string  `json:"predictor"`
+	Branches    uint64  `json:"branches"`
+	Mispredicts uint64  `json:"mispredicts"`
+	MPKI        float64 `json:"mpki"`
+	Span        uint64  `json:"span,omitempty"`
+}
+
+// DriftLine is one drift-alarm row of a summary: a change-point
+// detector watching the named metric of (trace, predictor) fired.
+type DriftLine struct {
+	Trace     string  `json:"trace,omitempty"`
+	Predictor string  `json:"predictor,omitempty"`
+	Metric    string  `json:"metric"`
+	Window    int     `json:"window"`
+	Value     float64 `json:"value"`
+	Baseline  float64 `json:"baseline"`
+	Direction string  `json:"direction"`
 }
 
 // Summary aggregates one journal: per-kind event counts plus the
-// run_finish results in journal order.
+// run_finish results and drift alarms in journal order.
 type Summary struct {
-	Events int
-	ByKind map[string]int
-	Runs   []RunLine
+	Events int            `json:"events"`
+	ByKind map[string]int `json:"by_kind"`
+	Runs   []RunLine      `json:"runs,omitempty"`
+	Drifts []DriftLine    `json:"drifts,omitempty"`
 }
 
 // Summarize builds a Summary over events.
@@ -134,18 +148,28 @@ func Summarize(events []Event) Summary {
 	s := Summary{Events: len(events), ByKind: map[string]int{}}
 	for _, ev := range events {
 		s.ByKind[ev.Kind]++
-		if ev.Kind != "run_finish" {
-			continue
+		switch ev.Kind {
+		case "run_finish":
+			rl := RunLine{Trace: ev.Trace, Predictor: ev.Predictor, Span: ev.Span}
+			if v, ok := ev.Num("branches"); ok {
+				rl.Branches = uint64(v)
+			}
+			if v, ok := ev.Num("mispredicts"); ok {
+				rl.Mispredicts = uint64(v)
+			}
+			rl.MPKI, _ = ev.Num("mpki")
+			s.Runs = append(s.Runs, rl)
+		case "drift":
+			dl := DriftLine{Trace: ev.Trace, Predictor: ev.Predictor}
+			dl.Metric, _ = ev.Fields["metric"].(string)
+			dl.Direction, _ = ev.Fields["direction"].(string)
+			if v, ok := ev.Num("window"); ok {
+				dl.Window = int(v)
+			}
+			dl.Value, _ = ev.Num("value")
+			dl.Baseline, _ = ev.Num("baseline")
+			s.Drifts = append(s.Drifts, dl)
 		}
-		rl := RunLine{Trace: ev.Trace, Predictor: ev.Predictor, Span: ev.Span}
-		if v, ok := ev.Num("branches"); ok {
-			rl.Branches = uint64(v)
-		}
-		if v, ok := ev.Num("mispredicts"); ok {
-			rl.Mispredicts = uint64(v)
-		}
-		rl.MPKI, _ = ev.Num("mpki")
-		s.Runs = append(s.Runs, rl)
 	}
 	return s
 }
@@ -166,6 +190,16 @@ func (s Summary) Render() string {
 		fmt.Fprintf(&b, "%-10s %-18s %12s %12s %10s %8s\n", "trace", "predictor", "branches", "mispredicts", "MPKI", "span")
 		for _, r := range s.Runs {
 			fmt.Fprintf(&b, "%-10s %-18s %12d %12d %10.3f %8d\n", r.Trace, r.Predictor, r.Branches, r.Mispredicts, r.MPKI, r.Span)
+		}
+	}
+	if len(s.Drifts) > 0 {
+		fmt.Fprintf(&b, "drift alarms:\n")
+		for _, d := range s.Drifts {
+			who := d.Metric
+			if d.Trace != "" {
+				who = d.Trace + "/" + d.Predictor + " " + d.Metric
+			}
+			fmt.Fprintf(&b, "  %-40s window %4d  %s  %.3f -> %.3f\n", who, d.Window, d.Direction, d.Baseline, d.Value)
 		}
 	}
 	return b.String()

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// phaseSeries builds a deterministic two-phase series: n1 samples
+// around level a, then n2 around level b, with a small ±jitter ripple.
+func phaseSeries(a float64, n1 int, b float64, n2 int, jitter float64) []float64 {
+	out := make([]float64, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		out = append(out, a+jitter*float64(i%3-1))
+	}
+	for i := 0; i < n2; i++ {
+		out = append(out, b+jitter*float64(i%3-1))
+	}
+	return out
+}
+
+func alarmsOf(d *DriftDetector, series []float64) []DriftEvent {
+	var out []DriftEvent
+	for _, x := range series {
+		if ev, ok := d.Observe(x); ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// A clear level shift fires exactly one "up" alarm near the
+// transition, and the detector re-baselines instead of re-firing on
+// every post-shift window.
+func TestDriftDetectsLevelShift(t *testing.T) {
+	series := phaseSeries(4, 20, 9, 20, 0.05)
+	alarms := alarmsOf(NewDriftDetector(DriftConfig{}), series)
+	if len(alarms) != 1 {
+		t.Fatalf("got %d alarms %+v, want exactly 1", len(alarms), alarms)
+	}
+	a := alarms[0]
+	if a.Direction != "up" {
+		t.Fatalf("direction = %q, want up", a.Direction)
+	}
+	if a.Sample < 20 || a.Sample > 23 {
+		t.Fatalf("alarm at sample %d, want within a few windows of the shift at 20", a.Sample)
+	}
+	if a.Value < 8.9 || a.Value > 9.1 {
+		t.Fatalf("alarm value = %v, want ~9", a.Value)
+	}
+}
+
+// A downward collapse fires a "down" alarm — the throughput-drop case.
+func TestDriftDetectsCollapse(t *testing.T) {
+	series := phaseSeries(100, 15, 30, 15, 0.5)
+	alarms := alarmsOf(NewDriftDetector(DriftConfig{}), series)
+	if len(alarms) != 1 || alarms[0].Direction != "down" {
+		t.Fatalf("got %+v, want one down alarm", alarms)
+	}
+}
+
+// A stationary noisy series never alarms.
+func TestDriftQuietOnStationarySeries(t *testing.T) {
+	series := phaseSeries(5, 200, 5, 0, 0.1)
+	if alarms := alarmsOf(NewDriftDetector(DriftConfig{}), series); len(alarms) != 0 {
+		t.Fatalf("stationary series fired %+v", alarms)
+	}
+}
+
+// Near-zero baselines are floored so tiny absolute wiggles on an
+// almost-perfect predictor don't become relative explosions.
+func TestDriftFloorSuppressesNearZeroNoise(t *testing.T) {
+	series := phaseSeries(0.01, 100, 0.04, 100, 0.005)
+	if alarms := alarmsOf(NewDriftDetector(DriftConfig{}), series); len(alarms) != 0 {
+		t.Fatalf("sub-floor series fired %+v", alarms)
+	}
+}
+
+// Determinism: the same series produces the same alarm sequence no
+// matter how the caller batches its Observe calls, and two detectors
+// fed identically agree in full state, not just alarm count.
+func TestDriftDeterministicAcrossBatchSizes(t *testing.T) {
+	series := phaseSeries(4, 30, 12, 30, 0.2)
+	series = append(series, phaseSeries(12, 0, 2, 30, 0.2)...)
+	ref := NewDriftDetector(DriftConfig{})
+	want := alarmsOf(ref, series)
+	if len(want) < 2 {
+		t.Fatalf("reference run fired %d alarms, want >= 2 (test series too tame)", len(want))
+	}
+	for _, batch := range []int{1, 2, 3, 7, 16, len(series)} {
+		d := NewDriftDetector(DriftConfig{})
+		var got []DriftEvent
+		for i := 0; i < len(series); i += batch {
+			end := i + batch
+			if end > len(series) {
+				end = len(series)
+			}
+			got = append(got, alarmsOf(d, series[i:end])...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: %d alarms, want %d", batch, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: alarm %d = %+v, want %+v", batch, i, got[i], want[i])
+			}
+		}
+		if d.State() != ref.State() {
+			t.Fatalf("batch %d: final state %+v, want %+v", batch, d.State(), ref.State())
+		}
+	}
+}
+
+// Observe is allocation-free in steady state — it sits on window
+// boundaries of live runs.
+func TestDriftObserveNoAllocs(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{})
+	x := 4.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		x = math.Mod(x*1.1, 20)
+		d.Observe(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// State snapshots track samples, alarms, and cooldown.
+func TestDriftState(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Cooldown: 3})
+	for _, x := range phaseSeries(4, 10, 12, 1, 0) {
+		d.Observe(x)
+	}
+	st := d.State()
+	if st.Samples != 11 || st.Alarms != 1 {
+		t.Fatalf("state = %+v, want 11 samples / 1 alarm", st)
+	}
+	if st.Cooldown != 3 {
+		t.Fatalf("cooldown = %d, want 3 right after the alarm", st.Cooldown)
+	}
+	if st.Last != 12 {
+		t.Fatalf("last = %v, want 12", st.Last)
+	}
+}

@@ -127,6 +127,7 @@ type traceEvent struct {
 	Dur  *float64       `json:"dur,omitempty"`
 	PID  int64          `json:"pid"`
 	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("g" = global)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -182,6 +183,37 @@ func (t *Tracer) ProcessName(name string) {
 	}
 	t.emit(traceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
 		Args: map[string]any{"name": name}})
+}
+
+// Counter emits a "C" phase (counter-track) sample: Perfetto renders
+// one graph track named name on the process row, with one series per
+// values key. Samples share the tracer's clock, so counter tracks line
+// up with the span timeline — this is how windowed MPKI, throughput,
+// and heap series render as graphs alongside the execution spans.
+// Values maps marshal with sorted keys, so emission is deterministic.
+// Nil-safe.
+func (t *Tracer) Counter(name string, values map[string]float64) {
+	if t == nil || len(values) == 0 {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.emit(traceEvent{Name: name, Ph: "C", TS: micros(t.now()),
+		PID: tracePID, TID: 0, Args: args})
+}
+
+// Instant emits a global-scope "i" phase event — a vertical marker
+// across every lane at the current clock. Drift alarms land on the
+// timeline this way, so the phase change is visible at the exact
+// instant against the MPKI counter track that tripped it. Nil-safe.
+func (t *Tracer) Instant(kind, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(traceEvent{Name: name, Cat: kind, Ph: "i", TS: micros(t.now()),
+		PID: tracePID, TID: 0, S: "g", Args: args})
 }
 
 // StartSpan opens a root span of the given kind on timeline lane tid.

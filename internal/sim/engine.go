@@ -124,6 +124,12 @@ type Engine struct {
 	// journal record can be joined to its timeline slice. Nil disables
 	// tracing entirely and runs the uninstrumented path.
 	Tracer *obs.Tracer
+	// WindowHook, when non-nil, receives every window-close event of
+	// every windowed cell, with Trace and Predictor filled in. Events
+	// from concurrent cells arrive concurrently; the hook must be safe
+	// for parallel use. It composes with (does not replace) a per-job
+	// Options.OnWindow, which keeps firing with the run-local view.
+	WindowHook func(WindowEvent)
 }
 
 // Run evaluates every job and returns results in job order — identical
@@ -164,6 +170,17 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 		}
 		if m != nil && opt.Probe == nil {
 			opt.Probe = m.Probe()
+		}
+		if e.WindowHook != nil && opt.Window > 0 {
+			hook, inner := e.WindowHook, opt.OnWindow
+			tn, pn := job.Source.Name(), job.Predictor.Name
+			opt.OnWindow = func(ev WindowEvent) {
+				if inner != nil {
+					inner(ev)
+				}
+				ev.Trace, ev.Predictor = tn, pn
+				hook(ev)
+			}
 		}
 		var rsp *obs.Span
 		if tr != nil {

@@ -95,6 +95,7 @@ func TestJournalPayloadsCarrySpanTag(t *testing.T) {
 		"component_attribution": journalComponentAttribution{},
 		"checkpoint":            journalCheckpoint{},
 		"health":                journalHealth{},
+		"drift":                 journalDrift{},
 	}
 	for _, k := range JournalEventKinds() {
 		if _, ok := payloads[k]; !ok {

@@ -323,6 +323,7 @@ func JournalEventKinds() []string {
 		"run_start", "run_finish", "run_error",
 		"window", "table_hits", "storage", "worker_state",
 		"provenance", "component_attribution", "checkpoint", "health",
+		"drift",
 	}
 }
 

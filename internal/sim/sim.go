@@ -118,6 +118,26 @@ func (w WindowStat) MPKI() float64 {
 	return float64(w.Mispredicts) * 1000 / float64(w.Instructions)
 }
 
+// WindowEvent is the live counterpart of a Stats.Windows entry: it is
+// delivered to Options.OnWindow the moment each window closes, while
+// the run is still in flight, so change-point detectors and counter
+// tracks can watch phase behaviour without waiting for the run to end.
+type WindowEvent struct {
+	// Trace and Predictor identify the run. RunContext leaves them
+	// empty; the engine fills them in when it installs its WindowHook.
+	Trace     string
+	Predictor string
+	// Index is the window's position in the Stats.Windows series.
+	Index int
+	// Final marks the trailing partial window emitted at end of trace.
+	Final bool
+	// Stat is the closed window.
+	Stat WindowStat
+	// Branches is the cumulative branch count (including warmup) at the
+	// moment the window closed.
+	Branches uint64
+}
+
 type pcStat struct {
 	pc       uint64
 	count    uint64
@@ -249,6 +269,11 @@ type Options struct {
 	// WindowStat per Window post-warmup branches (plus a final partial
 	// window) into Stats.Windows.
 	Window uint64
+	// OnWindow, when non-nil (and Window > 0), receives each WindowStat
+	// synchronously as its window closes, including the final partial
+	// one. It runs on the simulation goroutine, so it must be fast and
+	// must not retain the event past the call.
+	OnWindow func(WindowEvent)
 	// Probe, when non-nil, samples Predict/Update latencies into its
 	// histograms every Probe.Every branches. The engine injects one
 	// automatically when Engine.Metrics is set; a nil Probe runs the
@@ -409,6 +434,9 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 					}
 					if win.Branches == opt.Window {
 						stats.Windows = append(stats.Windows, win)
+						if opt.OnWindow != nil {
+							opt.OnWindow(WindowEvent{Index: len(stats.Windows) - 1, Stat: win, Branches: stats.Branches})
+						}
 						win = WindowStat{}
 					}
 				}
@@ -476,6 +504,9 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 	}
 	if win.Branches > 0 {
 		stats.Windows = append(stats.Windows, win)
+		if opt.OnWindow != nil {
+			opt.OnWindow(WindowEvent{Index: len(stats.Windows) - 1, Final: true, Stat: win, Branches: stats.Branches})
+		}
 	}
 	// Warmup branches contribute no instructions; Branches keeps the full
 	// count so callers can verify trace coverage.

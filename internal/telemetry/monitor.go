@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"bfbp/internal/obs"
+	"bfbp/internal/sim"
+)
+
+// Monitor is the phase/drift watchdog of a telemetry stack: it keeps
+// one streaming change-point detector per watched series (each
+// windowed (trace, predictor) MPKI series, plus the engine-wide
+// throughput), feeds counter tracks into the bfbp.trace.v1 timeline,
+// records recent journal lines in a flight-recorder ring, and cuts a
+// bfbp.flight.v1 dump whenever a detector alarms (and on SIGQUIT).
+//
+// A nil *Monitor is inert, so the engine hook and history chain wire
+// it unconditionally. ObserveWindow is called concurrently from every
+// engine worker; detector state is guarded by one mutex — the work per
+// window close is a handful of float operations, so contention is
+// negligible at window sizes worth using.
+type Monitor struct {
+	cfg        obs.DriftConfig
+	journal    *obs.Journal // run journal (nil when -journal is off)
+	tracer     *obs.Tracer  // trace timeline (nil when -trace-out is off)
+	recorder   *obs.FlightRecorder
+	ring       *obs.Journal // writes live window lines into the ring only
+	flightPath string
+
+	mu        sync.Mutex
+	detectors map[string]*obs.DriftDetector
+
+	alarms   *obs.CounterFamily
+	dumps    *obs.Counter
+	baseline *obs.FloatGaugeFamily
+	score    *obs.FloatGaugeFamily
+
+	// throughput-series state fed from history points
+	lastBranches float64
+	lastMillis   int64
+	haveRate     bool
+}
+
+// newMonitor builds the drift layer against t's sinks. The recorder is
+// created here so Start can tee the journal file through it.
+func newMonitor(t *T, cfg Config) *Monitor {
+	m := &Monitor{
+		cfg:        cfg.DriftConfig,
+		tracer:     t.Tracer,
+		recorder:   obs.NewFlightRecorder(cfg.FlightDepth),
+		flightPath: cfg.FlightPath,
+		detectors:  make(map[string]*obs.DriftDetector),
+		alarms: t.Registry.CounterFamily("bfbp_drift_alarms_total",
+			"Change-point alarms fired, by watched series.", "series"),
+		dumps: t.Registry.Counter("bfbp_flight_dumps_total",
+			"Flight-recorder dumps written."),
+		baseline: t.Registry.FloatGaugeFamily("bfbp_drift_baseline",
+			"Drift-detector EWMA baseline, by watched series.", "series"),
+		score: t.Registry.FloatGaugeFamily("bfbp_drift_score",
+			"Drift-detector decision score (max of up/down), by watched series.", "series"),
+	}
+	m.ring = obs.NewJournal(m.recorder)
+	return m
+}
+
+// ObserveWindow consumes one window-close event from the engine hook:
+// it extends the MPKI counter track, appends a live window line to the
+// flight ring, and runs the series' drift detector, handling the full
+// alarm path (journal event, trace instant, metrics, flight dump) when
+// it fires. Nil-safe.
+func (m *Monitor) ObserveWindow(ev sim.WindowEvent) {
+	if m == nil {
+		return
+	}
+	key := ev.Trace + "/" + ev.Predictor
+	mpki := ev.Stat.MPKI()
+	m.tracer.Counter("mpki", map[string]float64{key: mpki})
+	sim.JournalWindowEvent(m.ring, ev)
+	// The trailing partial window is usually a fraction of the window
+	// size; its MPKI is too noisy to feed the detector.
+	if ev.Final {
+		return
+	}
+	m.observe(key+" mpki", ev.Trace, ev.Predictor, "mpki", ev.Index, mpki)
+}
+
+// ObserveSample consumes one history point (the same stream the health
+// evaluator reads): it derives the engine branch rate between points,
+// extends the throughput and heap counter tracks, and feeds the
+// engine-wide throughput detector. Idle scrapes (no busy workers) are
+// excluded from detection so inter-suite gaps don't read as collapses.
+// Nil-safe.
+func (m *Monitor) ObserveSample(p obs.HistoryPoint) {
+	if m == nil {
+		return
+	}
+	branches, ok := p.Values["bfbp_engine_branches_total"]
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	rate := 0.0
+	valid := false
+	if m.haveRate && p.UnixMillis > m.lastMillis {
+		rate = (branches - m.lastBranches) / (float64(p.UnixMillis-m.lastMillis) / 1000)
+		valid = true
+	}
+	m.lastBranches, m.lastMillis, m.haveRate = branches, p.UnixMillis, true
+	m.mu.Unlock()
+	if !valid {
+		return
+	}
+	tracks := map[string]float64{"branches_per_sec": rate}
+	m.tracer.Counter("throughput", tracks)
+	if heap, ok := p.Values["bfbp_runtime_heap_bytes"]; ok {
+		m.tracer.Counter("heap", map[string]float64{"bytes": heap})
+	}
+	if busy := p.Values["bfbp_engine_busy_workers"]; busy >= 1 {
+		m.observe("engine throughput", "", "", "throughput", -1, rate)
+	}
+}
+
+// observe runs one sample through the named series' detector and
+// handles an alarm: drift journal event, trace instant, alarm counter,
+// and a flight dump.
+func (m *Monitor) observe(series, trc, pred, metric string, window int, x float64) {
+	m.mu.Lock()
+	d := m.detectors[series]
+	if d == nil {
+		d = obs.NewDriftDetector(m.cfg)
+		m.detectors[series] = d
+	}
+	ev, fired := d.Observe(x)
+	st := d.State()
+	m.mu.Unlock()
+	m.baseline.With(series).Set(st.Baseline)
+	score := st.ScoreUp
+	if st.ScoreDown > score {
+		score = st.ScoreDown
+	}
+	m.score.With(series).Set(score)
+	if !fired {
+		return
+	}
+	m.alarms.With(series).Inc()
+	// With a journal file the drift line reaches the ring through the
+	// tee; without one it is written to the ring directly so alarm
+	// dumps always carry their own trigger.
+	if m.journal != nil {
+		sim.JournalDrift(m.journal, trc, pred, metric, window, ev)
+	} else {
+		sim.JournalDrift(m.ring, trc, pred, metric, window, ev)
+	}
+	m.tracer.Instant("drift", fmt.Sprintf("drift %s %s", series, ev.Direction), map[string]any{
+		"series":   series,
+		"value":    ev.Value,
+		"baseline": ev.Baseline,
+		"score":    ev.Score,
+	})
+	m.dump("alarm", series, &ev)
+}
+
+// detectorStates snapshots every detector, sorted by series key so
+// dumps are deterministic.
+func (m *Monitor) detectorStates() []obs.FlightDetector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.detectors))
+	for k := range m.detectors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]obs.FlightDetector, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, obs.FlightDetector{Key: k, State: m.detectors[k].State()})
+	}
+	return out
+}
+
+// dump writes a bfbp.flight.v1 snapshot to the configured path
+// (overwriting the previous one — the file always holds the most
+// recent incident). No-op without a -flight-dump path. Nil-safe.
+func (m *Monitor) dump(reason, alarmKey string, alarm *obs.DriftEvent) {
+	if m == nil || m.flightPath == "" {
+		return
+	}
+	snap := m.recorder.Snapshot(reason, alarmKey, alarm, m.detectorStates())
+	f, err := os.Create(m.flightPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbp: flight dump: %v\n", err)
+		return
+	}
+	werr := snap.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "bfbp: flight dump: %v\n", werr)
+		return
+	}
+	m.dumps.Inc()
+}
+
+// Alarms returns the total alarms fired across all series, read back
+// from the metric family. Nil-safe.
+func (m *Monitor) Alarms() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, d := range m.detectors {
+		n += d.Alarms()
+	}
+	return n
+}

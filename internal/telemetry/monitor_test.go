@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bfbp/internal/obs"
+	"bfbp/internal/sim"
+)
+
+// driveWindows feeds a two-phase MPKI series through the monitor as
+// window-close events for one (trace, predictor) cell.
+func driveWindows(m *Monitor, trc, pred string, series []float64) {
+	for i, mpki := range series {
+		// Window stats that reproduce the requested MPKI exactly:
+		// mispredicts per 1000 instructions.
+		m.ObserveWindow(sim.WindowEvent{
+			Trace:     trc,
+			Predictor: pred,
+			Index:     i,
+			Stat:      sim.WindowStat{Branches: 1000, Instructions: 1000, Mispredicts: uint64(mpki)},
+			Branches:  uint64((i + 1) * 1000),
+		})
+	}
+}
+
+func twoPhase(a float64, n1 int, b float64, n2 int) []float64 {
+	out := make([]float64, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		out = append(out, a)
+	}
+	for i := 0; i < n2; i++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// An MPKI level shift observed through the full telemetry stack fires
+// a drift alarm: the journal gets a drift event, the trace gets
+// counter tracks and an instant, the alarm metric increments, and a
+// flight dump lands on disk with the triggering alarm and recent
+// window records embedded as valid journal lines.
+func TestMonitorAlarmPath(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	flight := filepath.Join(dir, "flight.json")
+	tel, err := Start(Config{
+		JournalPath: journal,
+		TracePath:   tracePath,
+		Drift:       true,
+		FlightPath:  flight,
+		FlightDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Monitor == nil {
+		t.Fatal("Drift config did not build a monitor")
+	}
+	driveWindows(tel.Monitor, "SERV1", "bimodal", twoPhase(4, 15, 12, 15))
+	if got := tel.Monitor.Alarms(); got == 0 {
+		t.Fatal("level shift fired no alarms")
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jb, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drifts int
+	for _, line := range strings.Split(strings.TrimSpace(string(jb)), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if obj["event"] == "drift" {
+			drifts++
+			if obj["metric"] != "mpki" || obj["trace"] != "SERV1" || obj["predictor"] != "bimodal" {
+				t.Fatalf("drift event fields = %v", obj)
+			}
+			if obj["direction"] != "up" {
+				t.Fatalf("drift direction = %v, want up", obj["direction"])
+			}
+		}
+	}
+	if drifts == 0 {
+		t.Fatal("journal has no drift events")
+	}
+
+	tb, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var counters, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "C":
+			if ev.Name == "mpki" {
+				counters++
+				if _, ok := ev.Args["SERV1/bimodal"].(float64); !ok {
+					t.Fatalf("mpki counter args = %v", ev.Args)
+				}
+			}
+		case "i":
+			if ev.Cat == "drift" {
+				instants++
+			}
+		}
+	}
+	if counters != 30 {
+		t.Fatalf("trace has %d mpki counter events, want one per window (30)", counters)
+	}
+	if instants == 0 {
+		t.Fatal("trace has no drift instant events")
+	}
+
+	fb, err := os.Open(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	dump, err := obs.ReadFlightDump(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != "alarm" || dump.Alarm == nil || dump.Alarm.Direction != "up" {
+		t.Fatalf("dump header = reason %q alarm %+v", dump.Reason, dump.Alarm)
+	}
+	if !strings.Contains(dump.AlarmKey, "SERV1/bimodal mpki") {
+		t.Fatalf("dump alarm key = %q", dump.AlarmKey)
+	}
+	if len(dump.Detectors) == 0 || dump.Detectors[0].State.Alarms == 0 {
+		t.Fatalf("dump detectors = %+v", dump.Detectors)
+	}
+	if len(dump.Records) == 0 {
+		t.Fatal("dump embeds no journal records")
+	}
+	var windows int
+	for _, rec := range dump.Records {
+		var obj map[string]any
+		if err := json.Unmarshal(rec, &obj); err != nil {
+			t.Fatalf("embedded record %s: %v", rec, err)
+		}
+		if obj["schema"] != obs.JournalSchema {
+			t.Fatalf("embedded record schema = %v", obj["schema"])
+		}
+		if obj["event"] == "window" {
+			windows++
+		}
+	}
+	if windows == 0 {
+		t.Fatal("dump embeds no live window records")
+	}
+}
+
+// Drift metrics surface through the registry under the flat key
+// grammar bfstat reads.
+func TestMonitorMetrics(t *testing.T) {
+	tel, err := Start(Config{Drift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	driveWindows(tel.Monitor, "INT1", "gshare", twoPhase(2, 12, 20, 12))
+	flat := tel.Registry.Flatten()
+	if flat[`bfbp_drift_alarms_total{series="INT1/gshare mpki"}`] == 0 {
+		t.Fatalf("no alarm counter in %v", flat)
+	}
+	if _, ok := flat[`bfbp_drift_baseline{series="INT1/gshare mpki"}`]; !ok {
+		t.Fatal("no baseline gauge")
+	}
+}
+
+// Throughput samples from history points feed the engine-wide
+// detector only while workers are busy, so inter-suite idle gaps are
+// not read as collapses.
+func TestMonitorThroughputGating(t *testing.T) {
+	tel, err := Start(Config{Drift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	m := tel.Monitor
+	point := func(ms int64, branches, busy float64) obs.HistoryPoint {
+		return obs.HistoryPoint{UnixMillis: ms, Values: map[string]float64{
+			"bfbp_engine_branches_total": branches,
+			"bfbp_engine_busy_workers":   busy,
+		}}
+	}
+	// Busy scrapes at a steady 1M branches/s, then an idle tail at
+	// zero rate: the idle samples must not reach the detector.
+	var branches float64
+	ms := int64(0)
+	for i := 0; i < 30; i++ {
+		ms += 1000
+		branches += 1e6
+		m.ObserveSample(point(ms, branches, 4))
+	}
+	for i := 0; i < 30; i++ {
+		ms += 1000
+		m.ObserveSample(point(ms, branches, 0))
+	}
+	if got := m.Alarms(); got != 0 {
+		t.Fatalf("idle tail fired %d alarms", got)
+	}
+	// A genuine collapse while busy does alarm.
+	for i := 0; i < 30; i++ {
+		ms += 1000
+		branches += 1e5
+		m.ObserveSample(point(ms, branches, 4))
+	}
+	if got := m.Alarms(); got == 0 {
+		t.Fatal("busy throughput collapse fired no alarm")
+	}
+}
+
+// The monitor rides Attach: an engine run with windowed options feeds
+// real window closes through the hook.
+func TestMonitorAttachedEngine(t *testing.T) {
+	tel, err := Start(Config{Drift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	var eng sim.Engine
+	tel.Attach(&eng)
+	if eng.WindowHook == nil {
+		t.Fatal("Attach did not install the window hook")
+	}
+}

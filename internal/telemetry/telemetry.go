@@ -13,11 +13,14 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	rtrace "runtime/trace"
 	"sync"
+	"syscall"
 	"time"
 
 	"bfbp/internal/obs"
@@ -59,6 +62,21 @@ type Config struct {
 	// OnHealth, when set, receives every health state transition,
 	// after the journal `health` event is emitted.
 	OnHealth func(from, to obs.HealthState, causes []string)
+
+	// Drift enables the phase/drift monitor: one streaming change-point
+	// detector per windowed (trace, predictor) MPKI series plus the
+	// engine throughput, MPKI/throughput/heap counter tracks on the
+	// bfbp.trace.v1 timeline, drift journal events, and a flight
+	// recorder of recent journal lines. DriftConfig tunes the detectors
+	// (zero fields take the obs defaults).
+	Drift       bool
+	DriftConfig obs.DriftConfig
+	// FlightPath, when non-empty, writes a bfbp.flight.v1 snapshot of
+	// the flight recorder to this file on every drift alarm and on
+	// SIGQUIT (the file always holds the latest incident). Implies
+	// Drift. FlightDepth bounds the ring (0 means 256 lines).
+	FlightPath  string
+	FlightDepth int
 }
 
 // T is a running telemetry stack. A nil *T is valid and inert.
@@ -83,6 +101,9 @@ type T struct {
 	Runtime *obs.RuntimeCollector
 	History *obs.History
 	Health  *obs.Health
+	// Monitor is the phase/drift watchdog (nil unless Drift or
+	// FlightPath is set).
+	Monitor *Monitor
 
 	server      *http.Server
 	journalFile *os.File
@@ -90,6 +111,7 @@ type T struct {
 	rtFile      *os.File
 	stop        chan struct{}
 	stopped     chan struct{}
+	sigCh       chan os.Signal
 	closeOnce   sync.Once
 	closeErr    error
 }
@@ -97,7 +119,8 @@ type T struct {
 // Enabled reports whether cfg requests any telemetry.
 func (cfg Config) Enabled() bool {
 	return cfg.MetricsAddr != "" || cfg.JournalPath != "" || cfg.Heartbeat > 0 ||
-		cfg.TracePath != "" || cfg.RuntimeTracePath != ""
+		cfg.TracePath != "" || cfg.RuntimeTracePath != "" ||
+		cfg.Drift || cfg.FlightPath != ""
 }
 
 // Start brings up the requested sinks. It returns (nil, nil) when cfg
@@ -140,15 +163,6 @@ func Start(cfg Config) (*T, error) {
 		}
 	}
 
-	if cfg.JournalPath != "" {
-		f, err := os.Create(cfg.JournalPath)
-		if err != nil {
-			return nil, fmt.Errorf("telemetry: journal: %w", err)
-		}
-		t.journalFile = f
-		t.Journal = obs.NewJournal(f)
-	}
-
 	if cfg.TracePath != "" {
 		f, err := os.Create(cfg.TracePath)
 		if err != nil {
@@ -158,6 +172,48 @@ func Start(cfg Config) (*T, error) {
 		t.traceFile = f
 		t.Tracer = obs.NewTracer(f)
 		t.Tracer.Instrument(t.Registry)
+	}
+
+	// The monitor is built after the tracer (it feeds counter tracks)
+	// and before the journal (whose writer is teed through the flight
+	// recorder so every journal line lands in the ring).
+	if cfg.Drift || cfg.FlightPath != "" {
+		t.Monitor = newMonitor(t, cfg)
+		if t.History != nil {
+			health := t.History.OnSample
+			t.History.OnSample = func(p obs.HistoryPoint) {
+				if health != nil {
+					health(p)
+				}
+				t.Monitor.ObserveSample(p)
+			}
+		}
+		if cfg.FlightPath != "" {
+			t.sigCh = make(chan os.Signal, 1)
+			signal.Notify(t.sigCh, syscall.SIGQUIT)
+			go func() {
+				for range t.sigCh {
+					t.Monitor.dump("signal", "", nil)
+				}
+			}()
+		}
+	}
+
+	if cfg.JournalPath != "" {
+		f, err := os.Create(cfg.JournalPath)
+		if err != nil {
+			t.closeSinks()
+			return nil, fmt.Errorf("telemetry: journal: %w", err)
+		}
+		t.journalFile = f
+		var w io.Writer = f
+		if t.Monitor != nil {
+			w = io.MultiWriter(f, t.Monitor.recorder)
+		}
+		t.Journal = obs.NewJournal(w)
+		if t.Monitor != nil {
+			t.Monitor.journal = t.Journal
+		}
 	}
 
 	if cfg.RuntimeTracePath != "" {
@@ -237,6 +293,9 @@ func (t *T) Attach(eng *sim.Engine) {
 	eng.Metrics = t.Engine
 	eng.Journal = t.Journal
 	eng.Tracer = t.Tracer
+	if t.Monitor != nil {
+		eng.WindowHook = t.Monitor.ObserveWindow
+	}
 }
 
 // EngineMetrics returns the engine metric set (nil when telemetry is
@@ -359,6 +418,10 @@ func (t *T) Close() error {
 		if t.stop != nil {
 			close(t.stop)
 			<-t.stopped
+		}
+		if t.sigCh != nil {
+			signal.Stop(t.sigCh)
+			close(t.sigCh)
 		}
 		// The history ticker can emit journal `health` events, so stop
 		// it before the journal is sealed.
