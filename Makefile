@@ -25,13 +25,15 @@ check: build vet race
 # by cmd/bench, written to the next free BENCH_<n>.json. Commit the JSON
 # alongside optimisation PRs so before/after numbers live in the tree.
 # `make bench-quick` is the CI smoke variant: 1/5 the branches, one run,
-# compared against the committed BENCH_0.json baseline with a generous
-# tolerance so it only fails on order-of-magnitude regressions.
+# compared against the committed BENCH_1.json baseline. The comparison
+# divides out machine speed using the untouched control predictors
+# (bimodal/gshare), so the tolerance only has to absorb per-cell noise
+# and can sit tight enough to catch a real hot-path regression.
 bench:
 	$(GO) run ./cmd/bench
 
 bench-quick:
-	$(GO) run ./cmd/bench -quick -out bench_ci.json -baseline BENCH_0.json -tolerance 2
+	$(GO) run ./cmd/bench -quick -out bench_ci.json -baseline BENCH_1.json -tolerance 1.4
 
 # Traced end-to-end smoke: run a small 2-trace suite twice with
 # -trace-out/-journal enabled, summarize the journal, and diff the two
@@ -110,8 +112,12 @@ drift-smoke:
 	$(GO) run ./cmd/journal flight drift_ci.flight.json > /dev/null; \
 	echo "drift-smoke: ok ($$drifts drift alarms)"
 
-# Go microbenchmarks (root package + engine/telemetry overhead).
+# Go microbenchmarks: root package, engine/telemetry overhead, and the
+# hot-path kernels (fold pipelines / fold sets, recency-stack CAM,
+# fused dot-product, and the three flagship cores' probe paths).
 BENCHTIME ?= 1s
 
 microbench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) . ./internal/sim
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) . ./internal/sim \
+		./internal/history ./internal/rs ./internal/dotp \
+		./internal/core/bftage ./internal/core/bfneural ./internal/core/bfgehl

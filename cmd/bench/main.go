@@ -17,7 +17,9 @@
 //	bench -out BENCH_local.json    # explicit output path
 //	bench -baseline BENCH_0.json -tolerance 2   # regression gate
 //	bench -preds bf-neural -traces SPEC03 -n 1000000
+//	bench -pred bf-tage-10 -trace SPEC03        # single-cell A/B run
 //	bench -cpuprofile cpu.pprof    # profile the measured runs
+//	bench -profile profdir         # per-cell cpu+mem profiles into profdir/
 //	bench -trace-out bench.trace.json           # Perfetto span timeline
 //	bench -runtime-trace bench.rtrace           # Go runtime/trace capture
 //	bench -metrics-addr :8080                   # live /metrics, /metrics/history, /healthz (watch with bfstat)
@@ -28,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -92,6 +95,9 @@ func main() {
 		runs      = flag.Int("runs", 3, "measured runs per cell; the fastest is recorded (quick: 1)")
 		preds     = flag.String("preds", defaultPreds, "comma-separated registry predictor names")
 		traces    = flag.String("traces", defaultTraces, "comma-separated trace names")
+		pred      = flag.String("pred", "", "single-cell filter: run only this predictor (overrides -preds)")
+		traceOne  = flag.String("trace", "", "single-cell filter: run only this trace (overrides -traces)")
+		profDir   = flag.String("profile", "", "write per-cell cpu+mem profiles (<pred>_<trace>.{cpu,mem}.pprof) into this directory")
 		out       = flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
 		baseline  = flag.String("baseline", "", "compare against this bfbp.bench.v1 file")
 		tolerance = flag.Float64("tolerance", 2.0, "fail when a row is this factor slower than the baseline")
@@ -112,6 +118,14 @@ func main() {
 	if *runs < 1 {
 		*runs = 1
 	}
+	// Single-cell A/B filters: -pred/-trace narrow the matrix without
+	// restating the full lists.
+	if *pred != "" {
+		*preds = *pred
+	}
+	if *traceOne != "" {
+		*traces = *traceOne
+	}
 
 	specs, err := bfbp.SelectPredictors(*preds)
 	if err != nil {
@@ -131,6 +145,10 @@ func main() {
 		fatal(err)
 	}
 	defer stop()
+	cellProf, err := prof.NewCellProfiler(*profDir)
+	if err != nil {
+		fatal(err)
+	}
 
 	tel, err := telemetry.Start(telemetry.Config{
 		MetricsAddr:      *metricsAddr,
@@ -165,7 +183,7 @@ func main() {
 	rowAgg := map[string]*Row{}
 	for _, src := range sources {
 		for _, info := range specs {
-			cell, err := measure(tracer, info, src, opt, *runs)
+			cell, err := measure(tracer, cellProf, info, src, opt, *runs)
 			if err != nil {
 				fatal(err)
 			}
@@ -214,9 +232,16 @@ func main() {
 // predictor over a fresh streaming reader each time — and keeps the
 // fastest, the standard best-of-N discipline for wall-clock benchmarks.
 // When tracer is non-nil every measured run gets a root span on lane 0
-// so bench timelines show the per-run batch/drain structure.
-func measure(tracer *obs.Tracer, info bfbp.PredictorInfo, src bfbp.TraceSource, opt sim.Options, runs int) (Cell, error) {
+// so bench timelines show the per-run batch/drain structure. When
+// cellProf is non-nil the cell's runs are captured as one cpu+mem
+// profile pair named <predictor>_<trace>.
+func measure(tracer *obs.Tracer, cellProf *prof.CellProfiler, info bfbp.PredictorInfo, src bfbp.TraceSource, opt sim.Options, runs int) (Cell, error) {
 	cell := Cell{Predictor: info.Name, Trace: src.Name()}
+	stopProf, err := cellProf.Start(info.Name + "_" + src.Name())
+	if err != nil {
+		return cell, err
+	}
+	defer stopProf()
 	for i := 0; i < runs; i++ {
 		p := info.New()
 		if tracer != nil {
@@ -261,11 +286,20 @@ func nextBenchPath() string {
 	return fmt.Sprintf("BENCH_%d.json", n)
 }
 
+// controlPredictors are cheap table predictors no optimisation wave
+// touches; their throughput tracks raw machine speed, so the ratio of
+// their baseline-vs-current rows calibrates out runner-to-runner (and
+// noisy-neighbour) speed differences before the tolerance is applied.
+var controlPredictors = []string{"bimodal", "gshare"}
+
 // compare gates on per-predictor aggregate throughput: the run fails
 // when any row shared with the baseline is more than `tolerance` times
-// slower. The tolerance is deliberately generous — baselines are
-// recorded on developer machines and checked on CI runners — so only
-// genuine hot-path regressions trip it.
+// slower after dividing out the machine-speed calibration factor (the
+// geometric mean of the control predictors' ratios). Normalising first
+// lets the tolerance be tight enough to catch real hot-path
+// regressions without flaking on slow CI runners. A control predictor
+// that genuinely regresses still trips the gate: its own normalised
+// ratio deviates from the geomean the other control anchors.
 func compare(path string, cur Report, tolerance float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -291,8 +325,23 @@ func compare(path string, cur Report, tolerance float64) error {
 	for _, r := range cur.Rows {
 		curRows[r.Predictor] = r
 	}
+	calib, nCtl := 1.0, 0
+	for _, name := range controlPredictors {
+		b, ok := baseRows[name]
+		c, ok2 := curRows[name]
+		if ok && ok2 && b.BranchesPerSec > 0 && c.BranchesPerSec > 0 {
+			calib *= c.BranchesPerSec / b.BranchesPerSec
+			nCtl++
+		}
+	}
+	if nCtl > 0 {
+		calib = math.Pow(calib, 1/float64(nCtl))
+	} else {
+		calib = 1
+	}
 	var failures []string
-	fmt.Fprintf(os.Stderr, "baseline %s (%s, %s):\n", path, base.Created, base.GoVersion)
+	fmt.Fprintf(os.Stderr, "baseline %s (%s, %s), machine calibration %.2fx:\n",
+		path, base.Created, base.GoVersion, calib)
 	for _, name := range names {
 		b, ok := baseRows[name]
 		if !ok || b.BranchesPerSec <= 0 {
@@ -300,11 +349,12 @@ func compare(path string, cur Report, tolerance float64) error {
 		}
 		c := curRows[name]
 		ratio := c.BranchesPerSec / b.BranchesPerSec
-		fmt.Fprintf(os.Stderr, "  %-14s %10.0f -> %10.0f branches/s  (%.2fx)\n",
-			name, b.BranchesPerSec, c.BranchesPerSec, ratio)
-		if c.BranchesPerSec*tolerance < b.BranchesPerSec {
-			failures = append(failures, fmt.Sprintf("%s: %.2fx of baseline (tolerance %.2gx)",
-				name, ratio, tolerance))
+		norm := ratio / calib
+		fmt.Fprintf(os.Stderr, "  %-14s %10.0f -> %10.0f branches/s  (%.2fx raw, %.2fx normalised)\n",
+			name, b.BranchesPerSec, c.BranchesPerSec, ratio, norm)
+		if norm*tolerance < 1 {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx of baseline after %.2fx calibration (tolerance %.2gx)",
+				name, norm, calib, tolerance))
 		}
 	}
 	if len(failures) > 0 {

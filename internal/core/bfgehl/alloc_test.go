@@ -1,0 +1,32 @@
+package bfgehl
+
+import "testing"
+
+// TestSteadyStateAllocs drives the predictor past warmup and requires
+// the scalar and batch hot paths to run allocation-free.
+func TestSteadyStateAllocs(t *testing.T) {
+	tr := diffTrace(t, 40000)
+	p := New(Default64KB())
+	for _, rec := range tr[:20000] {
+		p.Predict(rec.PC)
+		p.Update(rec.PC, rec.Taken, rec.Target)
+	}
+	i := 0
+	if a := testing.AllocsPerRun(2000, func() {
+		rec := tr[20000+i%10000]
+		i++
+		p.Predict(rec.PC)
+		p.Update(rec.PC, rec.Taken, rec.Target)
+	}); a > 0 {
+		t.Errorf("scalar Predict+Update allocates %.1f per branch in steady state", a)
+	}
+	preds := make([]bool, 512)
+	j := 0
+	if a := testing.AllocsPerRun(20, func() {
+		off := 20000 + (j*512)%10000
+		j++
+		p.SimulateBatch(tr[off:off+512], preds)
+	}); a > 0 {
+		t.Errorf("SimulateBatch allocates %.1f per span in steady state", a)
+	}
+}

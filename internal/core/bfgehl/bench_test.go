@@ -1,0 +1,78 @@
+package bfgehl
+
+import (
+	"testing"
+
+	"bfbp/internal/trace"
+	"bfbp/internal/workload"
+)
+
+var benchTrace trace.Slice
+
+func getBenchTrace(b *testing.B) trace.Slice {
+	b.Helper()
+	if benchTrace == nil {
+		for _, s := range workload.Traces() {
+			if s.Name == "SPEC03" {
+				benchTrace = s.GenerateN(100000)
+				break
+			}
+		}
+	}
+	if benchTrace == nil {
+		b.Skip("SPEC03 workload spec unavailable")
+	}
+	return benchTrace
+}
+
+// BenchmarkPredictUpdate measures the scalar Predict+Update path.
+func BenchmarkPredictUpdate(b *testing.B) {
+	tr := getBenchTrace(b)
+	p := New(Default64KB())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := tr[i%len(tr)]
+		p.Predict(rec.PC)
+		p.Update(rec.PC, rec.Taken, rec.Target)
+	}
+}
+
+// BenchmarkSimulateBatch measures the fused batch path the harness uses
+// when the hot loop is uninstrumented.
+func BenchmarkSimulateBatch(b *testing.B) {
+	tr := getBenchTrace(b)
+	p := New(Default64KB())
+	const batch = 4096
+	preds := make([]bool, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if b.N-done < n {
+			n = b.N - done
+		}
+		off := done % (len(tr) - batch)
+		p.SimulateBatch(tr[off:off+n], preds[:n])
+		done += n
+	}
+}
+
+// BenchmarkComputeRef measures the retained buildGHR+FoldWords scalar
+// reference, for comparison against the pipeline compute inside
+// BenchmarkPredictUpdate profiles.
+func BenchmarkComputeRef(b *testing.B) {
+	tr := getBenchTrace(b)
+	p := New(Default64KB())
+	for _, rec := range tr[:20000] {
+		p.Predict(rec.PC)
+		p.Update(rec.PC, rec.Taken, rec.Target)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += p.computeRef(tr[i%20000].PC)
+	}
+	_ = sink
+}

@@ -16,6 +16,7 @@ import (
 	"bfbp/internal/rng"
 	"bfbp/internal/rs"
 	"bfbp/internal/sim"
+	"bfbp/internal/trace"
 )
 
 // Config parameterises BF-GEHL.
@@ -76,8 +77,19 @@ type Predictor struct {
 	pendStart int
 	cpFree    []checkpoint
 	idxBuf    []uint32
-	ghrVec    history.BitVec
-	pcsVec    history.BitVec // parallel address bits; built but unused
+	// ghrVec / pcsVec hold the packed BF-GHR, rebuilt per reference
+	// lookup (the retained scalar path; differential tests pin the
+	// pipeline path to it). pcsVec is built but unused by the hash.
+	ghrVec history.BitVec
+	pcsVec history.BitVec
+	// pipe maintains one folded register per history-indexed table over
+	// the BF-GHR, updated by XOR deltas as the segments mutate instead of
+	// re-derived with buildGHR + FoldWords per lookup; regs maps table ->
+	// register id (table 0 is PC-indexed and has none), folds is FoldAll
+	// scratch.
+	pipe  *history.FoldPipeline
+	regs  []int
+	folds []uint64
 }
 
 // New returns a BF-GEHL predictor for cfg.
@@ -120,6 +132,20 @@ func New(cfg Config) *Predictor {
 		if h > ghrBits {
 			panic("bfgehl: history length exceeds BF-GHR width")
 		}
+	}
+	// Configs whose geometry the fold pipeline cannot pack (SegSize
+	// sweeps in ablations) keep the scalar reference fold path; compute
+	// falls back when pipe is nil.
+	if history.PipelineOK(cfg.SegSize, cfg.LogEntries) {
+		p.pipe = history.NewFoldPipeline(cfg.UnfilteredBits, cfg.SegSize, p.seg.Segments())
+		p.regs = make([]int, cfg.Tables)
+		for i := 1; i < cfg.Tables; i++ {
+			p.regs[i] = p.pipe.AddRegister(p.hists[i], cfg.LogEntries)
+		}
+		p.folds = make([]uint64, p.pipe.NumRegisters())
+		p.seg.SetPackObserver(func(seg int, dT, dP uint64) {
+			p.pipe.SegmentDelta2(seg, dT, dP)
+		})
 	}
 	return p
 }
@@ -164,7 +190,42 @@ func (p *Predictor) putCheckpoint(cp *checkpoint) {
 	cp.idxs = nil
 }
 
+// compute evaluates the adder-tree sum for pc, filling idxBuf with each
+// table's index. Per-table folds come from the fold pipeline (register
+// tails XORed with the folded unfiltered prefix) — no BF-GHR rebuild,
+// no FoldWords walk. It produces exactly the indices of computeRef
+// (asserted by TestComputeDifferential).
 func (p *Predictor) compute(pc uint64) int32 {
+	if p.pipe == nil {
+		return p.computeRef(pc)
+	}
+	if cap(p.idxBuf) < len(p.tables) {
+		p.idxBuf = make([]uint32, len(p.tables))
+	}
+	p.idxBuf = p.idxBuf[:len(p.tables)]
+	uT := p.seg.Ring().RecentTaken(p.cfg.UnfilteredBits)
+	p.pipe.FoldAll(uT, p.folds)
+	pch := rng.Hash64(pc >> 2)
+	idxBuf, folds, regs := p.idxBuf, p.folds, p.regs
+	var sum int32
+	for i := range p.tables {
+		var key uint64
+		if i == 0 {
+			key = pch
+		} else {
+			key = pch ^ folds[regs[i]]<<3 ^ uint64(i)<<57
+		}
+		idx := uint32(rng.Hash64(key) & p.mask)
+		idxBuf[i] = idx
+		sum += 2*int32(p.tables[i][idx]) + 1
+	}
+	return sum
+}
+
+// computeRef is the retained scalar reference model: rebuild the packed
+// BF-GHR and re-fold it per table with FoldWords. Differential tests pin
+// compute to this path bit for bit.
+func (p *Predictor) computeRef(pc uint64) int32 {
 	if cap(p.idxBuf) < len(p.tables) {
 		p.idxBuf = make([]uint32, len(p.tables))
 	}
@@ -214,13 +275,20 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	} else {
 		cp = p.newCheckpoint(pc, p.compute(pc))
 	}
-	pred := cp.sum >= 0
-	mag := cp.sum
+	p.commit(pc, cp.sum, cp.idxs, taken)
+	p.putCheckpoint(&cp)
+}
+
+// commit applies the resolved outcome given the lookup's sum and table
+// indices (shared by Update and the fused batch step).
+func (p *Predictor) commit(pc uint64, sum int32, idxs []uint32, taken bool) {
+	pred := sum >= 0
+	mag := sum
 	if mag < 0 {
 		mag = -mag
 	}
 	if pred != taken || mag <= p.theta {
-		for i, idx := range cp.idxs {
+		for i, idx := range idxs {
 			w := p.tables[i][idx]
 			if taken {
 				if w < p.wMax {
@@ -239,7 +307,32 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 		Taken:     taken,
 		NonBiased: p.class.Lookup(pc) == bst.NonBiased,
 	})
-	p.putCheckpoint(&cp)
+}
+
+// step runs one fused predict+update straight off idxBuf, skipping the
+// in-flight FIFO and the checkpoint copy — valid exactly when no
+// prediction is outstanding, which SimulateBatch guarantees.
+func (p *Predictor) step(pc uint64, taken bool) bool {
+	sum := p.compute(pc)
+	p.commit(pc, sum, p.idxBuf, taken)
+	return sum >= 0
+}
+
+// SimulateBatch implements sim.BatchSimulator: a span of records runs
+// through the fused per-branch step, bit-exact with Predict+Update per
+// record. Falls back to the canonical pair while checkpoints are in
+// flight (a delayed-update queue drained mid-run).
+func (p *Predictor) SimulateBatch(recs []trace.Record, preds []bool) {
+	if p.pendStart < len(p.pending) {
+		for i := range recs {
+			preds[i] = p.Predict(recs[i].PC)
+			p.Update(recs[i].PC, recs[i].Taken, recs[i].Target)
+		}
+		return
+	}
+	for i := range recs {
+		preds[i] = p.step(recs[i].PC, recs[i].Taken)
+	}
 }
 
 func (p *Predictor) adaptTheta(mispred bool, mag int32) {

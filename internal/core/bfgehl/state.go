@@ -92,6 +92,16 @@ func (p *Predictor) LoadState(r io.Reader) error {
 	if err := p.seg.LoadState(hd); err != nil {
 		return err
 	}
+	// The fold pipeline is derived state: rebuild its register tails
+	// from the restored segments' packed words (LoadState reset them, so
+	// feeding the absolute words through the delta path reconstructs).
+	if p.pipe != nil {
+		p.pipe.Reset()
+		for i := 0; i < p.seg.Segments(); i++ {
+			tw, pw := p.seg.PackedWords(i)
+			p.pipe.SegmentDelta2(i, tw, pw)
+		}
+	}
 	m, err := s.Dec("misc")
 	if err != nil {
 		return err

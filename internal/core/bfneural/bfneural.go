@@ -20,12 +20,16 @@
 package bfneural
 
 import (
+	"math/bits"
+
 	"bfbp/internal/bst"
+	"bfbp/internal/dotp"
 	"bfbp/internal/history"
 	"bfbp/internal/looppred"
 	"bfbp/internal/rng"
 	"bfbp/internal/rs"
 	"bfbp/internal/sim"
+	"bfbp/internal/trace"
 )
 
 // Mode selects the history-filtering level (the Fig. 9 ablation).
@@ -192,6 +196,18 @@ type Predictor struct {
 	pendStart int
 	cpFree    []checkpoint
 	distCap   uint64
+	// qdist tabulates quantDist over [0, distCap] (distances arrive
+	// saturated), replacing the per-entry bit scan with one small-table
+	// load; nil when DistBits is too wide to tabulate.
+	qdist []uint32
+
+	// compute scratch: recent hashed PCs gathered from the ring, so the
+	// Wm hot loop runs over a dense array instead of per-entry accessors.
+	gpcs []uint32
+	// scratch is the fused-step checkpoint: SimulateBatch consumes each
+	// prediction immediately, so it never goes through the FIFO or the
+	// slice pool.
+	scratch checkpoint
 }
 
 // New returns a BF-Neural predictor for cfg.
@@ -239,6 +255,13 @@ func New(cfg Config) *Predictor {
 		p.class = bst.NewTable(cfg.BSTEntries)
 	}
 	p.folds = history.NewFoldSet(foldLengths(), cfg.FoldWidth, 4096)
+	p.gpcs = make([]uint32, maxInt(cfg.RecentUnfiltered, 1))
+	if cfg.DistBits <= 16 {
+		p.qdist = make([]uint32, p.distCap+1)
+		for d := range p.qdist {
+			p.qdist[d] = uint32(quantDist(uint64(d)))
+		}
+	}
 	if cfg.Mode == ModeFull && cfg.RSDepth > 0 {
 		p.rstack = rs.NewStack(cfg.RSDepth, cfg.DistBits)
 	}
@@ -307,6 +330,16 @@ func quantDist(d uint64) uint64 {
 	if d < 64 {
 		return d
 	}
+	shift := uint(bits.Len64(d)) - 6
+	return (d >> shift) << shift
+}
+
+// quantDistRef is the original loop formulation, retained as the
+// reference model for the differential test pinning quantDist.
+func quantDistRef(d uint64) uint64 {
+	if d < 64 {
+		return d
+	}
 	shift := uint(0)
 	for v := d; v >= 64; v >>= 1 {
 		shift++
@@ -315,7 +348,12 @@ func quantDist(d uint64) uint64 {
 }
 
 // compute evaluates the perceptron sum for a non-biased pc, filling the
-// checkpoint's index lists.
+// checkpoint's index lists. The Wm loop reads the recent outcome bits
+// as one packed word and the hashed PCs as a dense gather; the Wrs loop
+// runs over arrays gathered from the recency stack in one list walk.
+// Both produce exactly the rows/indices of computeRef (asserted by
+// TestComputeDifferential), which is the straight per-entry-accessor
+// formulation kept as the reference model.
 func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 	var pch uint64
 	if !p.cfg.AheadPipelined {
@@ -324,6 +362,134 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 	accum := int32(p.wb[(pc>>2)&p.biasMask])
 
 	// Conventional component over recent unfiltered history (Wm).
+	ht := p.cfg.RecentUnfiltered
+	rows := cp.wmRows[:0]
+	dirs := cp.wmDirs[:0]
+	ring := p.folds.Ring()
+	if n := ring.Len(); n >= ht && ht <= 64 {
+		if cap(rows) < ht {
+			rows = make([]int32, ht)
+			dirs = make([]bool, ht)
+		} else {
+			rows = rows[:ht]
+			dirs = dirs[:ht]
+		}
+		rt := ring.RecentTaken(ht)
+		gpcs := p.gpcs[:ht]
+		ring.FillRecentPCs(gpcs)
+		fs, wmMask := p.folds, p.wmMask
+		for i := 1; i <= ht; i++ {
+			key := pch ^ uint64(gpcs[i-1])*0x9e3779b97f4a7c15 ^ fs.Fold(i)<<17 ^ uint64(i)<<40
+			rows[i-1] = int32(rng.Hash64(key)&wmMask)*int32(ht) + int32(i-1)
+			dirs[i-1] = rt>>uint(i-1)&1 != 0
+		}
+		accum += dotp.SignedGatherSum(p.wm, rows, dirs)
+	} else {
+		for i := 1; i <= ht; i++ {
+			e, ok := ring.At(i)
+			if !ok {
+				rows = append(rows, -1)
+				dirs = append(dirs, false)
+				continue
+			}
+			key := pch ^ uint64(e.HashedPC)*0x9e3779b97f4a7c15 ^ p.folds.Fold(i)<<17 ^ uint64(i)<<40
+			row := int32(rng.Hash64(key)&p.wmMask)*int32(ht) + int32(i-1)
+			rows = append(rows, row)
+			dirs = append(dirs, e.Taken)
+			w := int32(p.wm[row])
+			if e.Taken {
+				accum += w
+			} else {
+				accum -= w
+			}
+		}
+	}
+	cp.wmRows, cp.wmDirs = rows, dirs
+
+	// Recency-stack component (Wrs).
+	idxs := cp.wrsIdxs[:0]
+	sdirs := cp.wrsDirs[:0]
+	if p.rstack != nil {
+		// §IV-B2: hash(pc, A, pos_hist, folded history up to the
+		// entry) — no relative depth, so previously detected
+		// non-biased branches never relearn when depths shift. The
+		// recency walk is fused into the hash loop over the stack's
+		// dense view; distances saturate exactly as Iter reports them.
+		v := p.rstack.View()
+		n := v.N
+		if cap(idxs) < n {
+			idxs = make([]int32, n)
+			sdirs = make([]bool, n)
+		} else {
+			idxs = idxs[:n]
+			sdirs = sdirs[:n]
+		}
+		fs, wrsMask := p.folds, p.wrsMask
+		order, spc, stk, sseq := v.Order, v.PC, v.Taken, v.Seq
+		cur, maxd := v.Cur, v.MaxDist
+		if qd := p.qdist; qd != nil {
+			for j := 0; j < n; j++ {
+				sl := order[j]
+				d := cur - sseq[sl]
+				if d > maxd {
+					d = maxd
+				}
+				sdirs[j] = stk[sl]
+				key := pch ^ spc[sl]*0x9e3779b97f4a7c15 ^ uint64(qd[d])<<28 ^ fs.Fold(int(d))<<9
+				idxs[j] = int32(rng.Hash64(key) & wrsMask)
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				sl := order[j]
+				d := cur - sseq[sl]
+				if d > maxd {
+					d = maxd
+				}
+				sdirs[j] = stk[sl]
+				key := pch ^ spc[sl]*0x9e3779b97f4a7c15 ^ quantDist(d)<<28 ^ fs.Fold(int(d))<<9
+				idxs[j] = int32(rng.Hash64(key) & wrsMask)
+			}
+		}
+		accum += dotp.SignedGatherSum(p.wrs, idxs, sdirs)
+		cp.wrsIdxs, cp.wrsDirs = idxs, sdirs
+		cp.accum = accum
+		return
+	}
+	cp.wrsIdxs = idxs
+	cp.wrsDirs = sdirs
+	for j := range p.filt {
+		e := &p.filt[j]
+		dist := p.seq - e.seq
+		if dist > p.distCap {
+			dist = p.distCap
+		}
+		// Idealized/ghist variant: relative depth selects the context
+		// (Algorithm 1 style).
+		key := pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ uint64(j)<<28 ^ p.folds.Fold(int(dist))<<9
+		idx := int32(rng.Hash64(key) & p.wrsMask)
+		cp.wrsIdxs = append(cp.wrsIdxs, idx)
+		cp.wrsDirs = append(cp.wrsDirs, e.taken)
+		w := int32(p.wrs[idx])
+		if e.taken {
+			accum += w
+		} else {
+			accum -= w
+		}
+	}
+	cp.accum = accum
+}
+
+// computeRef is the retained reference model for compute: the same sum
+// through the per-entry accessors (Ring.At, Stack.Iter, the loop-based
+// quantizer) instead of the gathered fast paths. Differential tests run
+// both and require identical accumulators and index lists.
+func (p *Predictor) computeRef(pc uint64, cp *checkpoint) {
+	var pch uint64
+	if !p.cfg.AheadPipelined {
+		pch = rng.Hash64(pc >> 2)
+	}
+	accum := int32(p.wb[(pc>>2)&p.biasMask])
+
 	ht := p.cfg.RecentUnfiltered
 	cp.wmRows = cp.wmRows[:0]
 	cp.wmDirs = cp.wmDirs[:0]
@@ -347,20 +513,15 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 		}
 	}
 
-	// Recency-stack component (Wrs).
 	cp.wrsIdxs = cp.wrsIdxs[:0]
 	cp.wrsDirs = cp.wrsDirs[:0]
 	if p.rstack != nil {
-		// §IV-B2: hash(pc, A, pos_hist, folded history up to the
-		// entry) — no relative depth, so previously detected
-		// non-biased branches never relearn when depths shift. The
-		// stack's Dist is already saturated at distCap.
 		for it := p.rstack.Iter(); ; {
 			e, ok := it.Next()
 			if !ok {
 				break
 			}
-			q := quantDist(e.Dist)
+			q := quantDistRef(e.Dist)
 			key := pch ^ e.PC*0x9e3779b97f4a7c15 ^ q<<28 ^ p.folds.Fold(int(e.Dist))<<9
 			idx := int32(rng.Hash64(key) & p.wrsMask)
 			cp.wrsIdxs = append(cp.wrsIdxs, idx)
@@ -381,8 +542,6 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 		if dist > p.distCap {
 			dist = p.distCap
 		}
-		// Idealized/ghist variant: relative depth selects the context
-		// (Algorithm 1 style).
 		key := pch ^ uint64(e.hpc)*0x9e3779b97f4a7c15 ^ uint64(j)<<28 ^ p.folds.Fold(int(dist))<<9
 		idx := int32(rng.Hash64(key) & p.wrsMask)
 		cp.wrsIdxs = append(cp.wrsIdxs, idx)
@@ -397,9 +556,9 @@ func (p *Predictor) compute(pc uint64, cp *checkpoint) {
 	cp.accum = accum
 }
 
-// Predict implements sim.Predictor (Algorithm 2).
-func (p *Predictor) Predict(pc uint64) bool {
-	cp := p.newCheckpoint(pc, p.class.Lookup(pc))
+// lookup fills a checkpoint's prediction fields for cp.pc (the body of
+// Algorithm 2, shared by Predict and the fused batch step).
+func (p *Predictor) lookup(cp *checkpoint) {
 	switch cp.state {
 	case bst.NotFound:
 		cp.pred = p.cfg.NotFoundPrediction
@@ -408,18 +567,24 @@ func (p *Predictor) Predict(pc uint64) bool {
 	case bst.NotTaken:
 		cp.pred = false
 	default:
-		p.compute(pc, &cp)
+		p.compute(cp.pc, cp)
 		cp.pred = cp.accum >= 0
 	}
 	cp.final = cp.pred
 	if p.loop != nil {
-		lp, ok := p.loop.Predict(pc)
+		lp, ok := p.loop.Predict(cp.pc)
 		cp.loopPred, cp.loopOK = lp, ok
 		if ok && p.withLoop >= 0 {
 			cp.final = lp
 			cp.loopApplied = true
 		}
 	}
+}
+
+// Predict implements sim.Predictor (Algorithm 2).
+func (p *Predictor) Predict(pc uint64) bool {
+	cp := p.newCheckpoint(pc, p.class.Lookup(pc))
+	p.lookup(&cp)
 	// Compact the FIFO's popped prefix before append would grow it.
 	if len(p.pending) == cap(p.pending) && p.pendStart > 0 {
 		n := copy(p.pending, p.pending[p.pendStart:])
@@ -428,6 +593,53 @@ func (p *Predictor) Predict(pc uint64) bool {
 	}
 	p.pending = append(p.pending, cp)
 	return cp.final
+}
+
+// commit applies the resolved outcome for cp.pc (the body of Algorithm
+// 3 after the checkpoint is in hand, shared by Update and the fused
+// batch step).
+func (p *Predictor) commit(cp *checkpoint, taken bool) {
+	pc := cp.pc
+	if p.loop != nil {
+		if cp.loopOK && cp.loopPred != cp.pred {
+			p.withLoop = clamp32(p.withLoop+b2i(cp.loopPred == taken)*2-1, -64, 63)
+		}
+		p.loop.Update(pc, taken, cp.pred != taken)
+	}
+
+	switch cp.state {
+	case bst.NotFound:
+		// First commit: adopt the direction as the bias.
+	case bst.Taken, bst.NotTaken:
+		if cp.pred != taken {
+			// The branch just revealed itself as non-biased; train the
+			// weights so the perceptron picks it up immediately
+			// (Algorithm 3 updates Wb, Wm, Wrs on this transition).
+			p.compute(pc, cp)
+			p.trainWeights(cp, taken)
+		}
+	case bst.NonBiased:
+		mag := cp.accum
+		if mag < 0 {
+			mag = -mag
+		}
+		if cp.pred != taken || mag < p.theta {
+			p.trainWeights(cp, taken)
+			p.adaptTheta(cp.pred != taken, mag)
+		}
+	}
+	p.class.Update(pc, taken)
+
+	// History management: the filtered structure tracks non-biased
+	// branches only; the unfiltered history tracks everything.
+	p.seq++
+	if p.rstack != nil {
+		p.rstack.Tick()
+	}
+	if p.class.Lookup(pc) == bst.NonBiased {
+		p.pushFiltered(pc, taken)
+	}
+	p.folds.Push(history.Entry{HashedPC: uint32(rng.Hash64(pc >> 2)), Taken: taken})
 }
 
 // Update implements sim.Predictor (Algorithm 3).
@@ -448,48 +660,39 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 		}
 		cp.final = cp.pred
 	}
-
-	if p.loop != nil {
-		if cp.loopOK && cp.loopPred != cp.pred {
-			p.withLoop = clamp32(p.withLoop+b2i(cp.loopPred == taken)*2-1, -64, 63)
-		}
-		p.loop.Update(pc, taken, cp.pred != taken)
-	}
-
-	switch cp.state {
-	case bst.NotFound:
-		// First commit: adopt the direction as the bias.
-	case bst.Taken, bst.NotTaken:
-		if cp.pred != taken {
-			// The branch just revealed itself as non-biased; train the
-			// weights so the perceptron picks it up immediately
-			// (Algorithm 3 updates Wb, Wm, Wrs on this transition).
-			p.compute(pc, &cp)
-			p.trainWeights(&cp, taken)
-		}
-	case bst.NonBiased:
-		mag := cp.accum
-		if mag < 0 {
-			mag = -mag
-		}
-		if cp.pred != taken || mag < p.theta {
-			p.trainWeights(&cp, taken)
-			p.adaptTheta(cp.pred != taken, mag)
-		}
-	}
-	p.class.Update(pc, taken)
-
-	// History management: the filtered structure tracks non-biased
-	// branches only; the unfiltered history tracks everything.
-	p.seq++
-	if p.rstack != nil {
-		p.rstack.Tick()
-	}
-	if p.class.Lookup(pc) == bst.NonBiased {
-		p.pushFiltered(pc, taken)
-	}
-	p.folds.Push(history.Entry{HashedPC: uint32(rng.Hash64(pc >> 2)), Taken: taken})
+	p.commit(&cp, taken)
 	p.putCheckpoint(&cp)
+}
+
+// step runs one fused predict+update against a persistent scratch
+// checkpoint, skipping the in-flight FIFO and the slice pool — valid
+// exactly when no prediction is outstanding, which SimulateBatch
+// guarantees.
+func (p *Predictor) step(pc uint64, taken bool) bool {
+	cp := &p.scratch
+	cp.pc = pc
+	cp.state = p.class.Lookup(pc)
+	cp.loopPred, cp.loopOK, cp.loopApplied = false, false, false
+	p.lookup(cp)
+	p.commit(cp, taken)
+	return cp.final
+}
+
+// SimulateBatch implements sim.BatchSimulator: a span of records runs
+// through the fused per-branch step, bit-exact with Predict+Update per
+// record. Falls back to the canonical pair while checkpoints are in
+// flight (a delayed-update queue drained mid-run).
+func (p *Predictor) SimulateBatch(recs []trace.Record, preds []bool) {
+	if p.pendStart < len(p.pending) {
+		for i := range recs {
+			preds[i] = p.Predict(recs[i].PC)
+			p.Update(recs[i].PC, recs[i].Taken, recs[i].Target)
+		}
+		return
+	}
+	for i := range recs {
+		preds[i] = p.step(recs[i].PC, recs[i].Taken)
+	}
 }
 
 func (p *Predictor) pushFiltered(pc uint64, taken bool) {

@@ -23,6 +23,7 @@ import (
 	"bfbp/internal/rng"
 	"bfbp/internal/rs"
 	"bfbp/internal/sim"
+	"bfbp/internal/trace"
 )
 
 // Config parameterises BF-TAGE.
@@ -113,17 +114,32 @@ func conventional(n int, sc, ium bool) Config {
 	return cfg
 }
 
-type entry struct {
-	tag uint16
-	ctr int8
-	u   bool
-}
-
+// table is one tagged bank in structure-of-arrays layout: tags, counters,
+// and useful bits live in parallel dense arrays instead of a fat entry
+// struct, so the provider scan touches 2 bytes per probe, the useful-bit
+// reset is a word-wise clear, and each array stays cache-line packed.
 type table struct {
 	cfg     tage.TableConfig
-	entries []entry
+	tags    []uint16
+	ctrs    []int8
+	useful  []uint64 // bitset, entry i at word i/64 bit i%64
 	mask    uint64
 	tagMask uint32
+	// Fold-pipeline register ids: index fold, tag folds, address-bit fold.
+	rIdx, rT0, rT1, rPC int
+}
+
+// u reads entry i's useful bit.
+func (t *table) u(i uint32) bool { return t.useful[i>>6]>>(i&63)&1 != 0 }
+
+// setU writes entry i's useful bit.
+func (t *table) setU(i uint32, b bool) {
+	m := uint64(1) << (i & 63)
+	if b {
+		t.useful[i>>6] |= m
+	} else {
+		t.useful[i>>6] &^= m
+	}
 }
 
 type checkpoint struct {
@@ -177,13 +193,29 @@ type Predictor struct {
 	pendStart    int
 	providerHits []uint64
 
+	// pipe is the dual-channel fold pipeline over the BF-GHR's outcome
+	// bits (channel 0) and address bits (channel 1): one register per
+	// table per fold the index/tag hash needs, updated by XOR deltas as
+	// the recency-stack segments mutate instead of re-derived from the
+	// GHR per lookup.
+	pipe *history.FoldPipeline
+
 	// ghrVec / pcsVec hold the packed BF-GHR (outcome bits) and the
-	// parallel address-bit vector, rebuilt per lookup without allocating.
+	// parallel address-bit vector, rebuilt per reference lookup without
+	// allocating (the retained scalar path; differential tests pin the
+	// pipeline path to it).
 	ghrVec history.BitVec
 	pcsVec history.BitVec
 	// slicePool recycles checkpoint idx/tag slices once their branch
 	// commits, so Predict stops hitting growslice on every branch.
 	slicePool [][]uint32
+	// batchIdx / batchTag are the fused batch step's scratch index/tag
+	// arrays: SimulateBatch consumes each checkpoint immediately, so it
+	// never goes through the FIFO or the slice pool.
+	batchIdx []uint32
+	batchTag []uint32
+	// folds is FoldAll2 scratch, indexed by (global) register id.
+	folds []uint64
 }
 
 // New returns a BF-TAGE predictor for cfg.
@@ -226,6 +258,17 @@ func New(cfg Config) *Predictor {
 		p.class = bst.NewTable(cfg.BSTEntries)
 	}
 	ghrBits := cfg.UnfilteredBits + p.seg.Bits()
+	// Ablation variants sweep SegSize past what the fold pipeline can
+	// pack (a segment must span at most two words, register widths at
+	// most 64-SegSize bits). Those configs keep the scalar reference
+	// fold path; fillKeys falls back when pipe is nil.
+	maxW := 1
+	for _, tc := range cfg.Tables {
+		maxW = maxInt(maxW, maxInt(tc.LogEntries, tc.TagBits))
+	}
+	if history.PipelineOK(cfg.SegSize, maxW) {
+		p.pipe = history.NewFoldPipeline(cfg.UnfilteredBits, cfg.SegSize, p.seg.Segments())
+	}
 	prev := 0
 	for _, tc := range cfg.Tables {
 		if tc.HistLen <= prev {
@@ -235,13 +278,31 @@ func New(cfg Config) *Predictor {
 		if tc.HistLen > ghrBits {
 			panic("bftage: history length exceeds BF-GHR width")
 		}
-		p.tables = append(p.tables, &table{
+		n := 1 << tc.LogEntries
+		t := &table{
 			cfg:     tc,
-			entries: make([]entry, 1<<tc.LogEntries),
+			tags:    make([]uint16, n),
+			ctrs:    make([]int8, n),
+			useful:  make([]uint64, (n+63)/64),
 			mask:    uint64(1<<tc.LogEntries - 1),
 			tagMask: uint32(1<<tc.TagBits - 1),
-		})
+		}
+		if p.pipe != nil {
+			t.rIdx = p.pipe.AddRegisterCh(0, tc.HistLen, tc.LogEntries)
+			t.rT0 = p.pipe.AddRegisterCh(0, tc.HistLen, tc.TagBits)
+			t.rT1 = p.pipe.AddRegisterCh(0, tc.HistLen, maxInt(tc.TagBits-1, 1))
+			t.rPC = p.pipe.AddRegisterCh(1, tc.HistLen, maxInt(tc.LogEntries-1, 1))
+		}
+		p.tables = append(p.tables, t)
 	}
+	if p.pipe != nil {
+		p.seg.SetPackObserver(func(seg int, dT, dP uint64) {
+			p.pipe.SegmentDelta2(seg, dT, dP)
+		})
+		p.folds = make([]uint64, p.pipe.NumRegisters())
+	}
+	p.batchIdx = make([]uint32, len(p.tables))
+	p.batchTag = make([]uint32, len(p.tables))
 	if cfg.LoopPredictor {
 		p.loop = looppred.NewDefault()
 	}
@@ -326,16 +387,31 @@ func (p *Predictor) putSlices(cp *checkpoint) {
 	}
 }
 
-func (p *Predictor) lookup(pc uint64) checkpoint {
-	n := len(p.tables)
-	idx, tag := p.getSlices(n)
-	cp := checkpoint{
-		pc:       pc,
-		idx:      idx,
-		tag:      tag,
-		provider: -1,
-		alt:      -1,
+// fillKeys computes every table's index and tag from the fold pipelines:
+// each fold is a register tail XORed with the cheap fold of the ring's
+// packed unfiltered prefix — no BF-GHR rebuild, no FoldWords walk.
+func (p *Predictor) fillKeys(pc uint64, idx, tag []uint32) {
+	if p.pipe == nil {
+		p.fillKeysRef(pc, idx, tag)
+		return
 	}
+	ring := p.seg.Ring()
+	uT := ring.RecentTaken(p.cfg.UnfilteredBits)
+	uP := ring.RecentPC(p.cfg.UnfilteredBits)
+	p.pipe.FoldAll2(uT, uP, p.folds)
+	pch := rng.Hash64(pc >> 2)
+	path := p.path.Value()
+	for i, t := range p.tables {
+		key := pch ^ p.folds[t.rIdx] ^ p.folds[t.rPC]<<1 ^ path<<20 ^ uint64(i)<<56
+		idx[i] = uint32(rng.Hash64(key) & t.mask)
+		tag[i] = (uint32(pch>>8) ^ uint32(p.folds[t.rT0]) ^ uint32(p.folds[t.rT1])<<1) & t.tagMask
+	}
+}
+
+// fillKeysRef is the retained scalar reference model: rebuild the packed
+// BF-GHR and re-fold it per table with FoldWords. Differential tests pin
+// fillKeys to this path bit for bit.
+func (p *Predictor) fillKeysRef(pc uint64, idx, tag []uint32) {
 	p.buildGHR()
 	bits, pcs := p.ghrVec.Words(), p.pcsVec.Words()
 	pch := rng.Hash64(pc >> 2)
@@ -345,16 +421,20 @@ func (p *Predictor) lookup(pc uint64) checkpoint {
 		fIdx := history.FoldWords(bits, l, t.cfg.LogEntries)
 		fPC := history.FoldWords(pcs, l, maxInt(t.cfg.LogEntries-1, 1))
 		key := pch ^ fIdx ^ fPC<<1 ^ path<<20 ^ uint64(i)<<56
-		cp.idx[i] = uint32(rng.Hash64(key) & t.mask)
+		idx[i] = uint32(rng.Hash64(key) & t.mask)
 		fT0 := history.FoldWords(bits, l, t.cfg.TagBits)
 		fT1 := history.FoldWords(bits, l, maxInt(t.cfg.TagBits-1, 1))
-		cp.tag[i] = (uint32(pch>>8) ^ uint32(fT0) ^ uint32(fT1)<<1) & t.tagMask
+		tag[i] = (uint32(pch>>8) ^ uint32(fT0) ^ uint32(fT1)<<1) & t.tagMask
 	}
-	cp.baseIdx = uint32((pc >> 2) & p.baseMask)
+}
+
+// finishLookup reads the base bimodal, scans the tagged tables for
+// provider and alternate, and derives the TAGE prediction.
+func (p *Predictor) finishLookup(cp *checkpoint) {
+	cp.baseIdx = uint32((cp.pc >> 2) & p.baseMask)
 	cp.basePred = p.basePred[cp.baseIdx]
-	for i := n - 1; i >= 0; i-- {
-		e := &p.tables[i].entries[cp.idx[i]]
-		if uint32(e.tag) == cp.tag[i] {
+	for i := len(p.tables) - 1; i >= 0; i-- {
+		if uint32(p.tables[i].tags[cp.idx[i]]) == cp.tag[i] {
 			if cp.provider < 0 {
 				cp.provider = i
 			} else {
@@ -364,12 +444,13 @@ func (p *Predictor) lookup(pc uint64) checkpoint {
 		}
 	}
 	if cp.provider >= 0 {
-		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
-		cp.provPred = e.ctr >= 0
-		cp.newlyAlloc = !e.u && (e.ctr == 0 || e.ctr == -1)
+		t := p.tables[cp.provider]
+		e := cp.idx[cp.provider]
+		ctr := t.ctrs[e]
+		cp.provPred = ctr >= 0
+		cp.newlyAlloc = !t.u(e) && (ctr == 0 || ctr == -1)
 		if cp.alt >= 0 {
-			ae := &p.tables[cp.alt].entries[cp.idx[cp.alt]]
-			cp.altPred = ae.ctr >= 0
+			cp.altPred = p.tables[cp.alt].ctrs[cp.idx[cp.alt]] >= 0
 		} else {
 			cp.altPred = cp.basePred
 		}
@@ -382,14 +463,26 @@ func (p *Predictor) lookup(pc uint64) checkpoint {
 		cp.altPred = cp.basePred
 		cp.tagePred = cp.basePred
 	}
+}
+
+func (p *Predictor) lookup(pc uint64) checkpoint {
+	idx, tag := p.getSlices(len(p.tables))
+	cp := checkpoint{
+		pc:       pc,
+		idx:      idx,
+		tag:      tag,
+		provider: -1,
+		alt:      -1,
+	}
+	p.fillKeys(pc, cp.idx, cp.tag)
+	p.finishLookup(&cp)
 	return cp
 }
 
 func (p *Predictor) scIndex(cp *checkpoint) uint32 {
 	conf := uint64(9)
 	if cp.provider >= 0 {
-		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
-		conf = uint64(int64(e.ctr) + 4)
+		conf = uint64(int64(p.tables[cp.provider].ctrs[cp.idx[cp.provider]]) + 4)
 	}
 	dir := uint64(0)
 	if cp.tagePred {
@@ -398,16 +491,17 @@ func (p *Predictor) scIndex(cp *checkpoint) uint32 {
 	return uint32(rng.Hash64((cp.pc>>2)<<5^conf<<1^dir) & p.scMask)
 }
 
-// Predict implements sim.Predictor.
-func (p *Predictor) Predict(pc uint64) bool {
-	cp := p.lookup(pc)
+// decide derives the final prediction from the TAGE outcome and the ISL
+// components (SC weak-override, IUM in-flight forwarding, loop override)
+// and records provider attribution.
+func (p *Predictor) decide(cp *checkpoint) {
 	cp.finalPred = cp.tagePred
 
 	if p.sc != nil {
-		cp.scIdx = p.scIndex(&cp)
+		cp.scIdx = p.scIndex(cp)
 		cp.scSum = int32(p.sc[cp.scIdx])
 		weak := cp.provider < 0 || cp.newlyAlloc ||
-			isWeak(p.tables[cp.provider].entries[cp.idx[cp.provider]].ctr)
+			isWeak(p.tables[cp.provider].ctrs[cp.idx[cp.provider]])
 		if weak && cp.scSum <= -8 {
 			cp.finalPred = !cp.tagePred
 			cp.scApplied = true
@@ -425,7 +519,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 	}
 
 	if p.loop != nil {
-		lp, lv := p.loop.Predict(pc)
+		lp, lv := p.loop.Predict(cp.pc)
 		cp.loopPred, cp.loopValid = lp, lv
 		if lv && p.withLoop >= 0 {
 			cp.finalPred = lp
@@ -438,6 +532,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 	} else {
 		p.providerHits[0]++
 	}
+}
+
+// Predict implements sim.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	cp := p.lookup(pc)
+	p.decide(&cp)
 	// Compact the FIFO's popped prefix before append would grow it.
 	if len(p.pending) == cap(p.pending) && p.pendStart > 0 {
 		n := copy(p.pending, p.pending[p.pendStart:])
@@ -466,11 +566,14 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 	}
 	p.train(&cp, taken)
 	p.putSlices(&cp)
+	p.retire(pc, taken)
+}
 
-	// History management: classify, then commit into the unfiltered ring
-	// and the segmented stacks with the branch's bias status (§V-B4: a
-	// branch is inserted into GHRunfiltered along with its bias status
-	// and hashed address; the stacks pick it up at segment boundaries).
+// retire performs the per-branch history management (§V-B4): classify,
+// then commit into the unfiltered ring and the segmented stacks with the
+// branch's bias status and hashed address (the stacks pick it up at
+// segment boundaries), and push the path register.
+func (p *Predictor) retire(pc uint64, taken bool) {
 	p.class.Update(pc, taken)
 	nonBiased := p.class.Lookup(pc) == bst.NonBiased
 	p.seg.Commit(history.Entry{
@@ -479,6 +582,46 @@ func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
 		NonBiased: nonBiased,
 	})
 	p.path.Push(pc)
+}
+
+// step runs one fused predict+update for the batch path: the checkpoint
+// lives on the stack with reusable scratch index/tag arrays, never
+// entering the pending FIFO or the slice pool. Bit-exact with
+// Predict+Update at update delay zero: the FIFO is empty at every
+// Predict then, so the IUM scan in decide never fires and the FIFO pop
+// in Update always matches.
+func (p *Predictor) step(pc uint64, taken bool) bool {
+	cp := checkpoint{
+		pc:       pc,
+		idx:      p.batchIdx,
+		tag:      p.batchTag,
+		provider: -1,
+		alt:      -1,
+	}
+	p.fillKeys(pc, cp.idx, cp.tag)
+	p.finishLookup(&cp)
+	p.decide(&cp)
+	p.train(&cp, taken)
+	p.retire(pc, taken)
+	return cp.finalPred
+}
+
+// SimulateBatch implements sim.BatchSimulator: the harness hands over a
+// span of trace records and the predictor runs the fused per-branch step,
+// writing each prediction into preds. Falls back to Predict+Update per
+// record while checkpoints are in flight (nonzero update delay drained
+// mid-run), preserving bit-exactness unconditionally.
+func (p *Predictor) SimulateBatch(recs []trace.Record, preds []bool) {
+	if p.pendStart < len(p.pending) {
+		for i := range recs {
+			preds[i] = p.Predict(recs[i].PC)
+			p.Update(recs[i].PC, recs[i].Taken, recs[i].Target)
+		}
+		return
+	}
+	for i := range recs {
+		preds[i] = p.step(recs[i].PC, recs[i].Taken)
+	}
 }
 
 func (p *Predictor) train(cp *checkpoint, taken bool) {
@@ -505,12 +648,13 @@ func (p *Predictor) train(cp *checkpoint, taken bool) {
 	}
 
 	if cp.provider >= 0 {
-		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
-		e.ctr = satCtr(e.ctr, taken)
+		t := p.tables[cp.provider]
+		e := cp.idx[cp.provider]
+		t.ctrs[e] = satCtr(t.ctrs[e], taken)
 		if cp.provPred != cp.altPred {
-			e.u = cp.provPred == taken
+			t.setU(e, cp.provPred == taken)
 		}
-		if !e.u && isWeak(e.ctr) {
+		if !t.u(e) && isWeak(t.ctrs[e]) {
 			p.baseUpdate(cp.baseIdx, taken)
 		}
 	} else {
@@ -525,8 +669,9 @@ func (p *Predictor) train(cp *checkpoint, taken bool) {
 	if p.tick >= p.cfg.UResetPeriod {
 		p.tick = 0
 		for _, t := range p.tables {
-			for i := range t.entries {
-				t.entries[i].u = false
+			// SoA payoff: the periodic useful reset is a word-wise clear.
+			for i := range t.useful {
+				t.useful[i] = 0
 			}
 		}
 	}
@@ -553,16 +698,17 @@ func (p *Predictor) allocate(cp *checkpoint, taken bool) {
 		}
 	}
 	for i := start; i < len(p.tables); i++ {
-		e := &p.tables[i].entries[cp.idx[i]]
-		if !e.u {
-			e.tag = uint16(cp.tag[i])
-			e.ctr = int8(b2i(taken) - 1)
-			e.u = false
+		t := p.tables[i]
+		e := cp.idx[i]
+		if !t.u(e) {
+			t.tags[e] = uint16(cp.tag[i])
+			t.ctrs[e] = int8(b2i(taken) - 1)
+			t.setU(e, false)
 			return
 		}
 	}
 	for i := start; i < len(p.tables); i++ {
-		p.tables[i].entries[cp.idx[i]].u = false
+		p.tables[i].setU(cp.idx[i], false)
 	}
 }
 
@@ -654,9 +800,10 @@ func (p *Predictor) Explain(pc uint64) sim.Provenance {
 		BiasState:      p.class.Lookup(pc).String(),
 	}
 	if cp.provider >= 0 {
-		e := &p.tables[cp.provider].entries[cp.idx[cp.provider]]
-		prov.ProviderCtr = e.ctr
-		prov.ProviderUseful = e.u
+		t := p.tables[cp.provider]
+		e := cp.idx[cp.provider]
+		prov.ProviderCtr = t.ctrs[e]
+		prov.ProviderUseful = t.u(e)
 	}
 	switch {
 	case cp.loopApplied:
@@ -693,7 +840,7 @@ func (p *Predictor) Storage() sim.Breakdown {
 	for i, t := range p.tables {
 		b.Components = append(b.Components, sim.Component{
 			Name: fmt.Sprintf("tagged T%d (bf-hist %d)", i+1, t.cfg.HistLen),
-			Bits: len(t.entries) * (4 + t.cfg.TagBits),
+			Bits: len(t.tags) * (4 + t.cfg.TagBits),
 		})
 	}
 	b.Components = append(b.Components,

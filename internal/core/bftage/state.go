@@ -51,10 +51,12 @@ func (p *Predictor) SaveState(w io.Writer) error {
 	s := state.New(p.Name(), p.configHash())
 	for i, t := range p.tables {
 		e := s.Section("table_" + strconv.Itoa(i))
-		for j := range t.entries {
-			e.U16(t.entries[j].tag)
-			e.I8(t.entries[j].ctr)
-			e.Bool(t.entries[j].u)
+		// The SoA arrays serialise in the historical interleaved per-entry
+		// order so snapshot bytes stay identical across layouts.
+		for j := range t.tags {
+			e.U16(t.tags[j])
+			e.I8(t.ctrs[j])
+			e.Bool(t.u(uint32(j)))
 		}
 	}
 	b := s.Section("base")
@@ -93,10 +95,10 @@ func (p *Predictor) LoadState(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		for j := range t.entries {
-			t.entries[j].tag = d.U16()
-			t.entries[j].ctr = d.I8()
-			t.entries[j].u = d.Bool()
+		for j := range t.tags {
+			t.tags[j] = d.U16()
+			t.ctrs[j] = d.I8()
+			t.setU(uint32(j), d.Bool())
 		}
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("table %d: %w", i, err)
@@ -132,6 +134,16 @@ func (p *Predictor) LoadState(r io.Reader) error {
 	}
 	if err := p.seg.LoadState(hs); err != nil {
 		return err
+	}
+	// The fold pipeline is derived state: rebuild its register tails
+	// from the restored segments' packed words (LoadState reset them, so
+	// feeding the absolute words through the delta path reconstructs).
+	if p.pipe != nil {
+		p.pipe.Reset()
+		for i := 0; i < p.seg.Segments(); i++ {
+			tw, pw := p.seg.PackedWords(i)
+			p.pipe.SegmentDelta2(i, tw, pw)
+		}
 	}
 	if err := p.path.LoadState(hs); err != nil {
 		return err

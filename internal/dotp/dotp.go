@@ -1,0 +1,42 @@
+// Package dotp provides the fused quantized dot-product kernel shared
+// by the neural predictor cores: gather int8 weights by precomputed
+// table indices, apply the ±1 history direction branch-free, and widen
+// into int32 accumulators. Splitting the perceptron sum this way — an
+// ALU-bound index/hash loop feeding a load-bound gather loop — lets the
+// gather run with nothing but independent loads in flight, instead of
+// interleaving every load with the serial hash recurrence.
+package dotp
+
+// SignedGatherSum returns sum_j s_j * w[idx[j]], where s_j is +1 when
+// dirs[j] is true and -1 otherwise. len(dirs) must be >= len(idx).
+// Weights are quantized int8 widened into int32, so the sum is exact
+// for any predictor-scale input (|sum| <= 128*len, far below overflow).
+func SignedGatherSum(w []int8, idx []int32, dirs []bool) int32 {
+	n := len(idx)
+	dirs = dirs[:n]
+	// Two accumulators, 4-wide: the loads are independent, so the only
+	// carried dependencies are the accumulator adds.
+	var a, b int32
+	j := 0
+	for ; j+2 <= n; j += 2 {
+		// m is 0 for taken, -1 for not-taken; (v ^ m) - m negates v
+		// exactly when m is -1 (two's complement), with no branch on the
+		// unpredictable history direction.
+		v0, m0 := int32(w[idx[j]]), int32(b2i(dirs[j]))-1
+		v1, m1 := int32(w[idx[j+1]]), int32(b2i(dirs[j+1]))-1
+		a += (v0 ^ m0) - m0
+		b += (v1 ^ m1) - m1
+	}
+	if j < n {
+		v, m := int32(w[idx[j]]), int32(b2i(dirs[j]))-1
+		a += (v ^ m) - m
+	}
+	return a + b
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package dotp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSum is the obvious branchy formulation.
+func refSum(w []int8, idx []int32, dirs []bool) int32 {
+	var acc int32
+	for j := range idx {
+		v := int32(w[idx[j]])
+		if dirs[j] {
+			acc += v
+		} else {
+			acc -= v
+		}
+	}
+	return acc
+}
+
+func TestSignedGatherSum(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	w := make([]int8, 1<<16)
+	for i := range w {
+		w[i] = int8(r.Intn(64) - 32)
+	}
+	// Every remainder lane of the unrolled loop, plus saturating
+	// extremes and perceptron-scale lengths.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 48, 72, 100} {
+		idx := make([]int32, n)
+		dirs := make([]bool, n)
+		for trial := 0; trial < 50; trial++ {
+			for j := range idx {
+				idx[j] = int32(r.Intn(len(w)))
+				dirs[j] = r.Intn(2) == 0
+			}
+			got := SignedGatherSum(w, idx, dirs)
+			want := refSum(w, idx, dirs)
+			if got != want {
+				t.Fatalf("n=%d trial=%d: SignedGatherSum=%d, ref=%d", n, trial, got, want)
+			}
+		}
+	}
+	// Extremes: all-min weights, uniform direction.
+	for i := range w {
+		w[i] = -128
+	}
+	idx := make([]int32, 72)
+	dirs := make([]bool, 72)
+	if got := SignedGatherSum(w, idx, dirs); got != 128*72 {
+		t.Fatalf("all-min not-taken: got %d, want %d", got, 128*72)
+	}
+}
+
+// The two perceptron-sum shapes in BF-Neural: Wm (ht=16 over a 64KB
+// table) and Wrs (48 entries over a 64KB table).
+func benchGather(b *testing.B, tableSize, n int) {
+	r := rand.New(rand.NewSource(11))
+	w := make([]int8, tableSize)
+	for i := range w {
+		w[i] = int8(r.Intn(64) - 32)
+	}
+	idx := make([]int32, n)
+	dirs := make([]bool, n)
+	for j := range idx {
+		idx[j] = int32(r.Intn(tableSize))
+		dirs[j] = r.Intn(2) == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += SignedGatherSum(w, idx, dirs)
+	}
+	_ = sink
+}
+
+func BenchmarkSignedGatherSumWm16(b *testing.B)  { benchGather(b, 1024*16, 16) }
+func BenchmarkSignedGatherSumWrs48(b *testing.B) { benchGather(b, 1<<16, 48) }
+
+func BenchmarkRefSumWrs48(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	w := make([]int8, 1<<16)
+	for i := range w {
+		w[i] = int8(r.Intn(64) - 32)
+	}
+	idx := make([]int32, 48)
+	dirs := make([]bool, 48)
+	for j := range idx {
+		idx[j] = int32(r.Intn(len(w)))
+		dirs[j] = r.Intn(2) == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += refSum(w, idx, dirs)
+	}
+	_ = sink
+}

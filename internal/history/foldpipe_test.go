@@ -1,0 +1,166 @@
+package history
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+)
+
+// composeVec builds the composite bit vector a FoldPipeline models:
+// prefixBits bits of prefix followed by one segSize-bit word per segment.
+func composeVec(prefix uint64, prefixBits int, segs []uint64, segSize int) *BitVec {
+	var v BitVec
+	v.Append(prefix&lowMask(prefixBits), prefixBits)
+	for _, w := range segs {
+		v.Append(w&lowMask(segSize), segSize)
+	}
+	return &v
+}
+
+// checkPipeline asserts every register agrees with the FoldWords
+// reference over the composite vector.
+func checkPipeline(t *testing.T, p *FoldPipeline, regs [][2]int, prefix uint64, segs []uint64, prefixBits, segSize int) {
+	t.Helper()
+	vec := composeVec(prefix, prefixBits, segs, segSize)
+	all := make([]uint64, p.NumRegisters())
+	p.FoldAll(prefix, all)
+	for id, nw := range regs {
+		want := FoldWords(vec.Words(), nw[0], nw[1])
+		got := p.Fold(id, prefix)
+		if got != want {
+			t.Fatalf("register %d (n=%d w=%d): pipeline fold %#x, FoldWords %#x", id, nw[0], nw[1], got, want)
+		}
+		if all[id] != want {
+			t.Fatalf("register %d (n=%d w=%d): FoldAll %#x, FoldWords %#x", id, nw[0], nw[1], all[id], want)
+		}
+	}
+}
+
+// TestFoldPipelineEquivalence drives random segment mutations through
+// pipelines of random geometry and checks every register against
+// FoldWords after each step — the bit-exactness property BF-TAGE and
+// BF-GEHL rely on.
+func TestFoldPipelineEquivalence(t *testing.T) {
+	r := rng.New(0xF01D)
+	for trial := 0; trial < 50; trial++ {
+		prefixBits := r.Intn(33)  // 0..32
+		segSize := 1 + r.Intn(16) // 1..16
+		numSegs := 1 + r.Intn(20) // 1..20
+		total := prefixBits + numSegs*segSize
+		p := NewFoldPipeline(prefixBits, segSize, numSegs)
+		var regs [][2]int
+		for i := 0; i < 1+r.Intn(8); i++ {
+			n := 1 + r.Intn(total)
+			maxW := 64 - segSize
+			if maxW > 40 {
+				maxW = 40
+			}
+			w := 1 + r.Intn(maxW)
+			p.AddRegister(n, w)
+			regs = append(regs, [2]int{n, w})
+		}
+		segs := make([]uint64, numSegs)
+		var prefix uint64
+		for step := 0; step < 60; step++ {
+			// Mutate one segment word (the pipeline sees the XOR delta)
+			// and churn the prefix (the pipeline never sees it — Fold
+			// takes it live).
+			s := r.Intn(numSegs)
+			next := r.Uint64() & lowMask(segSize)
+			p.SegmentDelta(s, segs[s]^next)
+			segs[s] = next
+			prefix = r.Uint64()
+			checkPipeline(t, p, regs, prefix, segs, prefixBits, segSize)
+		}
+	}
+}
+
+// TestFoldPipelineRebuild checks that Reset + feeding each segment's
+// absolute word reproduces the incrementally maintained state — the
+// snapshot-restore path.
+func TestFoldPipelineRebuild(t *testing.T) {
+	r := rng.New(0xF02D)
+	const (
+		prefixBits = 16
+		segSize    = 8
+		numSegs    = 16
+	)
+	p := NewFoldPipeline(prefixBits, segSize, numSegs)
+	var regs [][2]int
+	for _, nw := range [][2]int{{3, 10}, {8, 8}, {14, 13}, {26, 11}, {40, 12}, {70, 9}, {118, 14}, {142, 12}} {
+		p.AddRegister(nw[0], nw[1])
+		regs = append(regs, nw)
+	}
+	segs := make([]uint64, numSegs)
+	for step := 0; step < 500; step++ {
+		s := r.Intn(numSegs)
+		next := r.Uint64() & lowMask(segSize)
+		p.SegmentDelta(s, segs[s]^next)
+		segs[s] = next
+	}
+	incremental := append([]uint64(nil), p.words[0]...)
+	p.Reset()
+	for s, w := range segs {
+		p.SegmentDelta(s, w)
+	}
+	for i, word := range p.words[0] {
+		if word != incremental[i] {
+			t.Fatalf("region word %d: rebuilt %#x, incremental %#x", i, word, incremental[i])
+		}
+	}
+	checkPipeline(t, p, regs, r.Uint64(), segs, prefixBits, segSize)
+}
+
+// TestFoldPipelineShortRegisters pins registers that never reach the
+// segment region: their fold must be the pure prefix fold and segment
+// mutations must not disturb them.
+func TestFoldPipelineShortRegisters(t *testing.T) {
+	p := NewFoldPipeline(16, 8, 4)
+	short := p.AddRegister(10, 7)  // entirely inside the prefix
+	exact := p.AddRegister(16, 12) // exactly the prefix
+	long := p.AddRegister(17, 12)  // one bit into segment 0
+	p.SegmentDelta(0, 0xFF)
+	p.SegmentDelta(3, 0xFF)
+	prefix := uint64(0xBEEF)
+	segs := []uint64{0xFF, 0, 0, 0xFF}
+	vec := composeVec(prefix, 16, segs, 8)
+	for _, tc := range []struct {
+		id, n, w int
+	}{{short, 10, 7}, {exact, 16, 12}, {long, 17, 12}} {
+		want := FoldWords(vec.Words(), tc.n, tc.w)
+		if got := p.Fold(tc.id, prefix); got != want {
+			t.Fatalf("register (n=%d w=%d): got %#x want %#x", tc.n, tc.w, got, want)
+		}
+	}
+	// Prefix-only registers must be a pure function of the prefix: with a
+	// zero prefix they fold to zero no matter what the segments hold.
+	if got := p.Fold(short, 0); got != 0 {
+		t.Fatalf("prefix-only register folded segment bits: %#x", got)
+	}
+	if got := p.Fold(exact, 0); got != 0 {
+		t.Fatalf("prefix-exact register folded segment bits: %#x", got)
+	}
+	if got := p.Fold(long, 0); got == 0 {
+		t.Fatal("segment-covering register ignored segment bits")
+	}
+}
+
+// TestFoldPipelineNarrowWidths exercises widths smaller than the segment
+// size, where one segment word wraps multiple times around a register.
+func TestFoldPipelineNarrowWidths(t *testing.T) {
+	r := rng.New(0xF03D)
+	p := NewFoldPipeline(16, 8, 16)
+	var regs [][2]int
+	for _, nw := range [][2]int{{144, 1}, {144, 2}, {144, 3}, {100, 5}, {77, 6}} {
+		p.AddRegister(nw[0], nw[1])
+		regs = append(regs, nw)
+	}
+	segs := make([]uint64, 16)
+	for step := 0; step < 200; step++ {
+		s := r.Intn(16)
+		next := r.Uint64() & 0xFF
+		p.SegmentDelta(s, segs[s]^next)
+		segs[s] = next
+		checkPipeline(t, p, regs, r.Uint64(), segs, 16, 8)
+	}
+}

@@ -1,0 +1,81 @@
+package history
+
+import (
+	"testing"
+
+	"bfbp/internal/rng"
+	"bfbp/internal/state"
+)
+
+// TestFoldSetDifferential drives 20k pushes through a FoldSet with the
+// BF-Neural length bank and checks every fold register against the
+// FoldBits reference on a maintained bit vector after each push. This
+// pins the windowed evicted-bit fast path (recent-word reads for short
+// registers, 64-push windows for deep ones) to the group-XOR
+// definition, including warmup, window refills, and ring wraparound.
+func TestFoldSetDifferential(t *testing.T) {
+	lengths := []int{1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 64, 91, 128,
+		181, 256, 362, 512, 724, 1024, 1448, 2048}
+	const width = 12
+	s := NewFoldSet(lengths, width, 4096)
+	r := rng.New(0xD1FF)
+	var hist []bool // index 0 = newest
+	for step := 0; step < 20000; step++ {
+		taken := r.Uint64()&1 != 0
+		s.Push(Entry{HashedPC: uint32(r.Uint64()), Taken: taken})
+		hist = append([]bool{taken}, hist...)
+		if len(hist) > 2048 {
+			hist = hist[:2048]
+		}
+		// Exhaustive checks are O(len * maxLen); sample densely early
+		// (warmup, first refills) and sparsely after.
+		if step > 256 && step%97 != 0 {
+			continue
+		}
+		for i, l := range lengths {
+			n := l
+			if n > len(hist) {
+				n = len(hist)
+			}
+			if want := FoldBits(hist[:n], width); s.FoldExact(i) != want {
+				t.Fatalf("step %d register %d (len %d): fold %#x, reference %#x",
+					step, i, l, s.FoldExact(i), want)
+			}
+		}
+	}
+}
+
+// TestFoldSetResumeMidWindow snapshots a fold set mid-stream (between
+// window refills), restores it into a fresh instance, and checks the
+// two stay bit-identical over further pushes — the property snapshot
+// resume relies on, given that the window cursor is not serialized.
+func TestFoldSetResumeMidWindow(t *testing.T) {
+	lengths := []int{3, 16, 91, 300, 1000}
+	mk := func() *FoldSet { return NewFoldSet(lengths, 9, 2048) }
+	a := mk()
+	r := rng.New(0xBEE5)
+	for i := 0; i < 1500+37; i++ { // 37: land mid-window
+		a.Push(Entry{Taken: r.Uint64()&1 != 0})
+	}
+	snap := state.New("t", 0)
+	a.SaveState(snap.Section("fs"))
+	d, err := snap.Dec("fs")
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	b := mk()
+	if err := b.LoadState(d); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		e := Entry{Taken: r.Uint64()&1 != 0}
+		a.Push(e)
+		b.Push(e)
+		for j := range lengths {
+			if a.FoldExact(j) != b.FoldExact(j) {
+				t.Fatalf("push %d register %d: original %#x, restored %#x",
+					i, j, a.FoldExact(j), b.FoldExact(j))
+			}
+		}
+	}
+}

@@ -26,16 +26,22 @@ type Entry struct {
 // the one before it, and so on. It is the software model of the paper's
 // GHRunfiltered structure.
 //
-// Alongside the entry buffer the ring maintains two packed shift words
-// over the 64 most recent branches — outcome bits and low address bits,
-// newest at bit 0 — so hot paths that consume a short recent-history
-// prefix (the BF-GHR's unfiltered head) read one masked word instead of
-// walking entries.
+// The storage is structure-of-arrays: hashed PCs in one dense array and
+// the single-bit outcome / bias-status fields packed 64-per-word, so a
+// 2048-deep ring keeps its outcome history in 256 bytes (cache-resident)
+// instead of striding over 12-byte entry structs. The ring additionally
+// maintains two packed shift words over the 64 most recent branches —
+// outcome bits and low address bits, newest at bit 0 — so hot paths that
+// consume a short recent-history prefix (the BF-GHR's unfiltered head)
+// read one masked word instead of walking entries.
 type Ring struct {
-	buf  []Entry
-	mask int
-	head int // index of the most recent entry
-	size int
+	pcs []uint32
+	// takenW / nbW hold one bit per slot (slot i at word i/64, bit i%64).
+	takenW []uint64
+	nbW    []uint64
+	mask   int
+	head   int // index of the most recent entry
+	size   int
 	// recentTaken / recentPC pack the newest <= 64 entries: bit d-1 is
 	// the outcome / low hashed-address bit of the branch at depth d.
 	recentTaken uint64
@@ -48,14 +54,38 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 || capacity&(capacity-1) != 0 {
 		panic("history: ring capacity must be a positive power of two")
 	}
-	return &Ring{buf: make([]Entry, capacity), mask: capacity - 1, head: -1}
+	return &Ring{
+		pcs:    make([]uint32, capacity),
+		takenW: make([]uint64, (capacity+63)/64),
+		nbW:    make([]uint64, (capacity+63)/64),
+		mask:   capacity - 1,
+		head:   -1,
+	}
+}
+
+// setSlotBit stores b at slot position pos of a packed word array.
+func setSlotBit(w []uint64, pos int, b bool) {
+	m := uint64(1) << (uint(pos) & 63)
+	if b {
+		w[pos>>6] |= m
+	} else {
+		w[pos>>6] &^= m
+	}
+}
+
+// slotBit reads the bit at slot position pos of a packed word array.
+func slotBit(w []uint64, pos int) bool {
+	return w[pos>>6]>>(uint(pos)&63)&1 != 0
 }
 
 // Push records a newly committed branch as depth 1.
 func (r *Ring) Push(e Entry) {
-	r.head = (r.head + 1) & r.mask
-	r.buf[r.head] = e
-	if r.size < len(r.buf) {
+	pos := (r.head + 1) & r.mask
+	r.head = pos
+	r.pcs[pos] = e.HashedPC
+	setSlotBit(r.takenW, pos, e.Taken)
+	setSlotBit(r.nbW, pos, e.NonBiased)
+	if r.size < len(r.pcs) {
 		r.size++
 	}
 	r.recentTaken <<= 1
@@ -93,7 +123,12 @@ func (r *Ring) At(depth int) (Entry, bool) {
 	if depth < 1 || depth > r.size {
 		return Entry{}, false
 	}
-	return r.buf[(r.head-(depth-1))&r.mask], true
+	pos := (r.head - (depth - 1)) & r.mask
+	return Entry{
+		HashedPC:  r.pcs[pos],
+		Taken:     slotBit(r.takenW, pos),
+		NonBiased: slotBit(r.nbW, pos),
+	}, true
 }
 
 // TakenAt returns the outcome bit at the given depth, or false when the
@@ -102,14 +137,44 @@ func (r *Ring) TakenAt(depth int) bool {
 	if depth < 1 || depth > r.size {
 		return false
 	}
-	return r.buf[(r.head-(depth-1))&r.mask].Taken
+	return slotBit(r.takenW, (r.head-(depth-1))&r.mask)
+}
+
+// NonBiasedAt returns the bias-status bit at the given depth, or false
+// when the depth is not populated. Segment boundary checks read just
+// this bit before touching the rest of the slot.
+func (r *Ring) NonBiasedAt(depth int) bool {
+	if depth < 1 || depth > r.size {
+		return false
+	}
+	return slotBit(r.nbW, (r.head-(depth-1))&r.mask)
+}
+
+// PCAt returns the hashed PC at the given depth, or 0 when the depth is
+// not populated.
+func (r *Ring) PCAt(depth int) uint32 {
+	if depth < 1 || depth > r.size {
+		return 0
+	}
+	return r.pcs[(r.head-(depth-1))&r.mask]
+}
+
+// FillRecentPCs writes the hashed PCs of the len(dst) most recent
+// branches into dst (dst[i] = depth i+1). Every requested depth must be
+// populated (len(dst) <= Len()); it is the bulk form of PCAt for hot
+// loops that consume a dense recent-history prefix.
+func (r *Ring) FillRecentPCs(dst []uint32) {
+	h, m := r.head, r.mask
+	for i := range dst {
+		dst[i] = r.pcs[(h-i)&m]
+	}
 }
 
 // Len returns the number of populated entries (saturating at capacity).
 func (r *Ring) Len() int { return r.size }
 
 // Cap returns the ring capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
+func (r *Ring) Cap() int { return len(r.pcs) }
 
 // Folded is an incrementally maintained folded history: the XOR of
 // consecutive width-bit groups of the most recent origLen outcome bits,
@@ -274,13 +339,39 @@ func FoldWords(words []uint64, n, width int) uint64 {
 // fixed set of fold registers would do.
 type FoldSet struct {
 	ring    *Ring
-	lengths []int // ascending
-	folds   []*Folded
+	lengths []int    // ascending
+	folds   []Folded // flat: one chase-free cache run per Push
 	// byDist maps a distance to the index of the largest maintained
 	// length <= distance (-1 when below the smallest), so Fold is one
 	// table load instead of a scan over lengths. Distances beyond the
 	// ring capacity clamp to the deepest entry.
 	byDist []int8
+	// Evicted-bit plumbing for Push. A register of length L folds out
+	// the outcome bit at depth L every push. Registers with L <= 64
+	// (the first nShort, lengths being ascending) read it from the
+	// ring's packed recent-outcome word; deeper registers read from
+	// win, a per-register 64-bit window of upcoming evicted bits cut
+	// from the ring's packed storage once every 64 pushes (consecutive
+	// pushes evict consecutive ring positions). A window never goes
+	// stale mid-run: position head+1+j, written at push j, would be
+	// consumed at push j+L >= 64, after the next refill. wk is the
+	// window cursor; it is a pure cache (refilling early is harmless),
+	// so snapshot restore just zeroes it.
+	nShort int
+	win    []uint64
+	wk     uint
+	// vals holds each register's live fold value in one dense array —
+	// the authoritative hot-path state, updated by Push and read by
+	// Fold/FoldExact. The Folded structs keep the geometry; their comp
+	// fields are synchronized on snapshot save/load only.
+	vals  []uint64
+	width uint
+	mask  uint64
+	// outShift[i] is register i's outpoint; shShort[i] (first nShort
+	// only) is length-1, the recent-word bit position of its evicted
+	// bit. Hot-loop copies of the per-register metadata, packed dense.
+	outShift []uint8
+	shShort  []uint8
 }
 
 // NewFoldSet builds a fold set over the given ascending lengths, all folded
@@ -301,9 +392,22 @@ func NewFoldSet(lengths []int, width, capacity int) *FoldSet {
 		panic("history: fold set supports at most 127 lengths")
 	}
 	s := &FoldSet{ring: NewRing(capacity), lengths: lengths}
-	s.folds = make([]*Folded, len(lengths))
+	s.width = uint(width)
+	s.mask = 1<<uint(width) - 1
+	s.folds = make([]Folded, len(lengths))
+	s.vals = make([]uint64, len(lengths))
+	s.outShift = make([]uint8, len(lengths))
 	for i, l := range lengths {
-		s.folds[i] = NewFolded(l, width)
+		s.folds[i] = *NewFolded(l, width)
+		s.outShift[i] = uint8(s.folds[i].outpoint)
+		if l <= 64 {
+			s.nShort = i + 1
+		}
+	}
+	s.win = make([]uint64, len(lengths)-s.nShort)
+	s.shShort = make([]uint8, s.nShort)
+	for i := 0; i < s.nShort; i++ {
+		s.shShort[i] = uint8(lengths[i] - 1)
 	}
 	s.byDist = make([]int8, capacity+1)
 	idx := int8(-1)
@@ -316,12 +420,60 @@ func NewFoldSet(lengths []int, width, capacity int) *FoldSet {
 	return s
 }
 
-// Push commits a branch: updates the ring and every fold register.
+// Push commits a branch: updates the ring and every fold register. The
+// per-register work is the classic O(1) circular-shift update, but the
+// evicted bits come from packed words (see the field comments) instead
+// of per-register ring probes, so the whole bank updates in one tight
+// pass.
 func (s *FoldSet) Push(e Entry) {
-	for i, f := range s.folds {
-		f.Update(e.Taken, s.ring.TakenAt(s.lengths[i]))
+	k := s.wk
+	if k == 0 {
+		s.refillWindows()
+	}
+	s.wk = (k + 1) & 63
+	rt := s.ring.recentTaken
+	nb := uint64(0)
+	if e.Taken {
+		nb = 1
+	}
+	// Every register shares the set's width (NewFoldSet invariant), so
+	// the rotate geometry hoists out of the loops; the live fold values
+	// update in the dense vals array, never touching the Folded structs.
+	w1 := s.width - 1
+	mask := s.mask
+	vals := s.vals
+	for i := 0; i < s.nShort; i++ {
+		c := vals[i]
+		vals[i] = (c<<1|c>>w1)&mask ^ nb ^ (rt>>s.shShort[i]&1)<<s.outShift[i]
+	}
+	for j, i := 0, s.nShort; i < len(s.folds); i, j = i+1, j+1 {
+		c := vals[i]
+		vals[i] = (c<<1|c>>w1)&mask ^ nb ^ (s.win[j]>>k&1)<<s.outShift[i]
 	}
 	s.ring.Push(e)
+}
+
+// refillWindows cuts each deep register's next 64 evicted bits from the
+// ring's packed outcome words: register length L evicts the bit at
+// depth L, whose ring position advances by one per push, so a 64-bit
+// slice starting at the current depth-L position covers the next 64
+// pushes.
+func (s *FoldSet) refillWindows() {
+	r := s.ring
+	posMask := uint(r.mask)
+	for j, i := 0, s.nShort; i < len(s.lengths); i, j = i+1, j+1 {
+		p := uint(r.head-(s.lengths[i]-1)) & posMask
+		wi, sh := p>>6, p&63
+		w := r.takenW[wi] >> sh
+		if sh != 0 {
+			nwi := wi + 1
+			if nwi == uint(len(r.takenW)) {
+				nwi = 0
+			}
+			w |= r.takenW[nwi] << (64 - sh)
+		}
+		s.win[j] = w
+	}
 }
 
 // Fold returns the folded history for the largest maintained length that
@@ -338,11 +490,11 @@ func (s *FoldSet) Fold(distance int) uint64 {
 	if idx < 0 {
 		return 0
 	}
-	return s.folds[idx].Value()
+	return s.vals[idx]
 }
 
 // FoldExact returns the fold register for the i-th maintained length.
-func (s *FoldSet) FoldExact(i int) uint64 { return s.folds[i].Value() }
+func (s *FoldSet) FoldExact(i int) uint64 { return s.vals[i] }
 
 // Ring exposes the underlying ring for depth-indexed access.
 func (s *FoldSet) Ring() *Ring { return s.ring }

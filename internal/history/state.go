@@ -17,15 +17,13 @@ func (r *Ring) SaveState(e *state.Enc) {
 	e.Int(r.size)
 	e.U64(r.recentTaken)
 	e.U64(r.recentPC)
-	pcs := make([]uint32, len(r.buf))
-	taken := make([]bool, len(r.buf))
-	nonBiased := make([]bool, len(r.buf))
-	for i, en := range r.buf {
-		pcs[i] = en.HashedPC
-		taken[i] = en.Taken
-		nonBiased[i] = en.NonBiased
+	taken := make([]bool, len(r.pcs))
+	nonBiased := make([]bool, len(r.pcs))
+	for i := range r.pcs {
+		taken[i] = slotBit(r.takenW, i)
+		nonBiased[i] = slotBit(r.nbW, i)
 	}
-	e.U32s(pcs)
+	e.U32s(r.pcs)
 	e.Bools(taken)
 	e.Bools(nonBiased)
 }
@@ -41,16 +39,18 @@ func (r *Ring) LoadState(d *state.Dec) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if len(pcs) != len(r.buf) || len(taken) != len(r.buf) || len(nonBiased) != len(r.buf) {
-		return fmt.Errorf("%w: ring snapshot capacity %d, instance %d", state.ErrCorrupt, len(pcs), len(r.buf))
+	if len(pcs) != len(r.pcs) || len(taken) != len(r.pcs) || len(nonBiased) != len(r.pcs) {
+		return fmt.Errorf("%w: ring snapshot capacity %d, instance %d", state.ErrCorrupt, len(pcs), len(r.pcs))
 	}
-	if head < -1 || head >= len(r.buf) || size < 0 || size > len(r.buf) {
+	if head < -1 || head >= len(r.pcs) || size < 0 || size > len(r.pcs) {
 		return fmt.Errorf("%w: ring head %d / size %d out of range", state.ErrCorrupt, head, size)
 	}
 	r.head, r.size = head, size
 	r.recentTaken, r.recentPC = recentTaken, recentPC
-	for i := range r.buf {
-		r.buf[i] = Entry{HashedPC: pcs[i], Taken: taken[i], NonBiased: nonBiased[i]}
+	copy(r.pcs, pcs)
+	for i := range r.pcs {
+		setSlotBit(r.takenW, i, taken[i])
+		setSlotBit(r.nbW, i, nonBiased[i])
 	}
 	return nil
 }
@@ -88,12 +88,15 @@ func (p *Path) LoadState(d *state.Dec) error {
 	return nil
 }
 
-// SaveState appends the fold set's ring and every fold register.
+// SaveState appends the fold set's ring and every fold register. The
+// live fold values are kept in the dense vals array; sync them into the
+// Folded structs so the byte format stays the per-register one.
 func (s *FoldSet) SaveState(e *state.Enc) {
 	s.ring.SaveState(e)
 	e.U32(uint32(len(s.folds)))
-	for _, f := range s.folds {
-		f.SaveState(e)
+	for i := range s.folds {
+		s.folds[i].comp = s.vals[i]
+		s.folds[i].SaveState(e)
 	}
 }
 
@@ -110,10 +113,14 @@ func (s *FoldSet) LoadState(d *state.Dec) error {
 	if n != len(s.folds) {
 		return fmt.Errorf("%w: fold set has %d registers, snapshot %d", state.ErrCorrupt, len(s.folds), n)
 	}
-	for _, f := range s.folds {
-		if err := f.LoadState(d); err != nil {
+	for i := range s.folds {
+		if err := s.folds[i].LoadState(d); err != nil {
 			return err
 		}
+		s.vals[i] = s.folds[i].comp
 	}
+	// The evicted-bit windows are caches over the restored ring; zeroing
+	// the cursor forces a refill on the next push.
+	s.wk = 0
 	return d.Err()
 }

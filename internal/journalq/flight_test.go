@@ -87,7 +87,7 @@ func TestReadFlight(t *testing.T) {
 	ev := obs.DriftEvent{Sample: 1, Value: 9, Baseline: 4, Score: 1.1, Direction: "up"}
 	dump := f.Snapshot("alarm", "SERV1/bimodal mpki", &ev, nil)
 	var out bytes.Buffer
-	if err := dump.WriteTo(&out); err != nil {
+	if err := dump.Render(&out); err != nil {
 		t.Fatal(err)
 	}
 

@@ -179,10 +179,10 @@ func (f *FlightRecorder) Snapshot(reason string, alarmKey string, alarm *DriftEv
 	return d
 }
 
-// WriteTo marshals a dump as indented JSON. The document is built in
+// Render marshals a dump as indented JSON. The document is built in
 // memory first so a failed write never leaves truncated JSON behind a
 // successful return.
-func (d FlightDump) WriteTo(w io.Writer) error {
+func (d FlightDump) Render(w io.Writer) error {
 	b, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return err

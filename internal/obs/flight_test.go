@@ -130,7 +130,7 @@ func TestFlightDumpRoundTrip(t *testing.T) {
 	dump := f.Snapshot("alarm", "SERV1/bimodal mpki", &ev,
 		[]FlightDetector{{Key: "SERV1/bimodal mpki", State: DriftState{Samples: 6, Alarms: 1}}})
 	var buf bytes.Buffer
-	if err := dump.WriteTo(&buf); err != nil {
+	if err := dump.Render(&buf); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadFlightDump(&buf)

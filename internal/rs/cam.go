@@ -1,17 +1,19 @@
 package rs
 
-// This file is the O(1) core shared by the monolithic recency stack and
-// the segmented stacks: a fixed buffer of entry slots threaded onto an
-// intrusive recency list, with an open-addressed hash index emulating
-// the hardware CAM match. The old implementation modelled the Fig. 3
-// shift register literally — an O(depth) associative scan plus an
-// O(depth) shift per push — which made every BF predictor lookup pay
-// for the stack depth; here a hit is one index probe plus a relink, a
-// push is one probe plus a tail reuse, and recency order is recovered
-// by walking the list. Semantics are bit-identical to the shift
-// register (asserted by the differential tests in this package).
+// This file is the O(1)-lookup core shared by the monolithic recency
+// stack: a fixed buffer of entry slots with an open-addressed hash
+// index emulating the hardware CAM match, and a dense recency order
+// array. The old implementation modelled the Fig. 3 shift register
+// literally — an O(depth) associative scan plus an O(depth) shift per
+// push — which made every BF predictor lookup pay for the stack depth.
+// Here a hit is one index probe plus a short memmove of the order
+// prefix, and recency-order iteration is a dense array walk whose
+// iterations are independent (the previous intrusive linked list made
+// every step of the per-prediction walk wait on the prior slot's next
+// pointer). Semantics are bit-identical to the shift register (asserted
+// by the differential tests in this package).
 
-// camNil terminates slot links.
+// camNil marks "no slot" (index probes and lookups).
 const camNil = int32(-1)
 
 // cam is a content-addressed LRU buffer of at most depth entries.
@@ -19,11 +21,11 @@ type cam struct {
 	pc    []uint64
 	taken []bool
 	seq   []uint64
-	prev  []int32 // toward more recent
-	next  []int32 // toward less recent
-	head  int32   // most recent live slot
-	tail  int32   // least recent live slot
-	free  int32   // freelist, linked through next
+	// order holds the live slots, most recent first, in order[:n].
+	// Move-to-front is a memmove of at most depth int32s — trivially
+	// cheap at hardware stack depths — and buys chase-free iteration.
+	order []int32
+	free  []int32 // spare slot stack
 	n     int
 
 	// Open-addressed index: pc -> slot, linear probing with
@@ -42,10 +44,8 @@ func newCam(depth int) cam {
 		pc:    make([]uint64, depth),
 		taken: make([]bool, depth),
 		seq:   make([]uint64, depth),
-		prev:  make([]int32, depth),
-		next:  make([]int32, depth),
-		head:  camNil,
-		tail:  camNil,
+		order: make([]int32, depth),
+		free:  make([]int32, 0, depth),
 		ikey:  make([]uint64, icap),
 		islot: make([]int32, icap),
 		imask: uint32(icap - 1),
@@ -53,11 +53,10 @@ func newCam(depth int) cam {
 	for i := range c.islot {
 		c.islot[i] = camNil
 	}
-	for i := range c.next {
-		c.next[i] = int32(i) + 1
+	// Pop order matches the old freelist: slot 0 first.
+	for i := depth - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
 	}
-	c.next[depth-1] = camNil
-	c.free = 0
 	return c
 }
 
@@ -115,33 +114,6 @@ func (c *cam) idel(pc uint64) {
 	c.islot[i] = camNil
 }
 
-// unlink removes slot s from the recency list (s must be live).
-func (c *cam) unlink(s int32) {
-	if c.prev[s] != camNil {
-		c.next[c.prev[s]] = c.next[s]
-	} else {
-		c.head = c.next[s]
-	}
-	if c.next[s] != camNil {
-		c.prev[c.next[s]] = c.prev[s]
-	} else {
-		c.tail = c.prev[s]
-	}
-}
-
-// linkFront makes slot s the most recent entry.
-func (c *cam) linkFront(s int32) {
-	c.prev[s] = camNil
-	c.next[s] = c.head
-	if c.head != camNil {
-		c.prev[c.head] = s
-	}
-	c.head = s
-	if c.tail == camNil {
-		c.tail = s
-	}
-}
-
 // push records the latest occurrence of pc: a hit refreshes the entry
 // in place and moves it to the front; a miss inserts at the front,
 // reusing the least recent slot when the buffer is full. These are
@@ -150,45 +122,41 @@ func (c *cam) push(pc uint64, taken bool, seq uint64) {
 	if s := c.lookup(pc); s != camNil {
 		c.taken[s] = taken
 		c.seq[s] = seq
-		if c.head != s {
-			c.unlink(s)
-			c.linkFront(s)
+		if c.order[0] != s {
+			k := 1
+			for c.order[k] != s {
+				k++
+			}
+			copy(c.order[1:k+1], c.order[:k])
+			c.order[0] = s
 		}
 		return
 	}
 	var s int32
 	if c.n == len(c.pc) {
-		s = c.tail
+		s = c.order[c.n-1]
 		c.idel(c.pc[s])
-		c.unlink(s)
+		copy(c.order[1:c.n], c.order[:c.n-1])
 	} else {
-		s = c.free
-		c.free = c.next[s]
+		s = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		copy(c.order[1:c.n+1], c.order[:c.n])
 		c.n++
 	}
+	c.order[0] = s
 	c.pc[s] = pc
 	c.taken[s] = taken
 	c.seq[s] = seq
 	c.iput(pc, s)
-	c.linkFront(s)
 }
 
 // evictTail drops the least recent entry (n must be > 0).
 func (c *cam) evictTail() {
-	s := c.tail
+	s := c.order[c.n-1]
 	c.idel(c.pc[s])
-	c.unlink(s)
-	c.next[s] = c.free
-	c.free = s
+	c.free = append(c.free, s)
 	c.n--
 }
 
-// at returns the slot at recency position i (0 = most recent), walking
-// the list; hot paths iterate with head/next directly instead.
-func (c *cam) at(i int) int32 {
-	s := c.head
-	for ; i > 0; i-- {
-		s = c.next[s]
-	}
-	return s
-}
+// at returns the slot at recency position i (0 = most recent).
+func (c *cam) at(i int) int32 { return c.order[i] }

@@ -87,23 +87,72 @@ func (s *Stack) Contains(pc uint64) bool { return s.c.lookup(pc) != camNil }
 
 // Iter returns a cursor over the stack in recency order (most recent
 // first). Iteration is O(1) per entry.
-func (s *Stack) Iter() Iter { return Iter{s: s, slot: s.c.head} }
+func (s *Stack) Iter() Iter { return Iter{s: s} }
+
+// Gather writes every live entry in recency order into the parallel
+// destination arrays (each at least Len() long) and returns the count —
+// the bulk form of Iter for hot loops, walking the dense order array
+// with distances saturated exactly as Iter reports them.
+func (s *Stack) Gather(pcs, dists []uint64, taken []bool) int {
+	c := &s.c
+	n := c.n
+	for k := 0; k < n; k++ {
+		sl := c.order[k]
+		pcs[k] = c.pc[sl]
+		taken[k] = c.taken[sl]
+		d := s.seq - c.seq[sl]
+		if d > s.maxDist {
+			d = s.maxDist
+		}
+		dists[k] = d
+	}
+	return n
+}
+
+// View is a read-only window into a Stack's dense storage, for fused
+// hot loops that fold the recency walk into their own iteration instead
+// of staging entries through Gather. Order[k] (k < N) is the slot of
+// the k-th most recent entry in the PC/Taken/Seq slot arrays; a live
+// distance is min(Cur - Seq[slot], MaxDist). The window is invalidated
+// by the next Push/Tick — consume it immediately, never retain it.
+type View struct {
+	Order   []int32
+	PC      []uint64
+	Taken   []bool
+	Seq     []uint64
+	N       int
+	Cur     uint64
+	MaxDist uint64
+}
+
+// View returns the stack's current dense view.
+func (s *Stack) View() View {
+	return View{
+		Order:   s.c.order,
+		PC:      s.c.pc,
+		Taken:   s.c.taken,
+		Seq:     s.c.seq,
+		N:       s.c.n,
+		Cur:     s.seq,
+		MaxDist: s.maxDist,
+	}
+}
 
 // Iter walks a Stack from the most recent entry downward.
 type Iter struct {
-	s    *Stack
-	slot int32
+	s *Stack
+	k int
 }
 
 // Next returns the next entry, or ok=false at the end.
 func (it *Iter) Next() (Entry, bool) {
-	if it.slot == camNil {
+	c := &it.s.c
+	if it.k >= c.n {
 		return Entry{}, false
 	}
-	c := &it.s.c
-	e := Entry{PC: c.pc[it.slot], Taken: c.taken[it.slot], Dist: it.s.dist(c.seq[it.slot])}
-	it.slot = c.next[it.slot]
-	return e, true
+	sl := c.order[it.k]
+	it.k++
+	return Entry{PC: c.pc[sl], Taken: c.taken[sl], Dist: it.s.dist(c.seq[sl])}, true
 }
 
 func (s *Stack) dist(entrySeq uint64) uint64 {

@@ -13,27 +13,39 @@ import "bfbp/internal/history"
 // one small stack per boundary crossing instead of one monolithic
 // structure, which is what makes the design implementable (§V-B1).
 //
-// Each segment is a cam (hash-indexed slot buffer, O(1) hit and push)
-// and additionally maintains its BF-GHR contribution — outcome bits and
-// low address bits of its slots in recency order — as packed words,
-// recomputed lazily after mutations. AppendPacked therefore assembles
-// the full BF-GHR with one word append per segment instead of a
-// per-slot walk on every prediction.
+// Each segment stores its slots as small recency-ordered parallel arrays
+// (a segment holds at most 8 entries, so the associative match is a
+// cache-line scan and an insert is a short memmove) and maintains its
+// BF-GHR contribution — outcome bits and low address bits of its slots
+// in recency order — directly as packed words, updated in place by every
+// mutation. AppendPacked therefore assembles the full BF-GHR with one
+// word append per segment and no per-slot walk, and Commit can hand
+// observers the exact XOR delta of a segment's packed words for free.
 type Segmented struct {
 	bounds  []int // ascending depths; segment i covers [bounds[i], bounds[i+1])
 	segSize int
 	segs    []segment
 	ring    *history.Ring
 	seq     uint64
+	// onPack, when set, receives the XOR delta of a segment's packed
+	// words the moment a Commit mutates it. Fold pipelines subscribe
+	// here to keep their registers current without re-deriving folds
+	// from the full BF-GHR.
+	onPack func(seg int, takenDelta, pcDelta uint64)
 }
 
+// segment is one recency stack in structure-of-arrays layout: pcs/seqs
+// hold the live entries in recency order (slot 0 = most recent), and
+// takenBits/pcBits pack the slots' outcome and low address bits (bit j =
+// slot j, empty slots zero), kept current by every mutation. seqs is
+// strictly decreasing — entries are inserted with ever-increasing
+// sequence numbers — so expiry only ever inspects the tail.
 type segment struct {
-	c cam
-	// takenBits / pcBits pack the slots in recency order (bit j = slot
-	// j, empty slots zero); valid only when dirty is false.
+	pcs       []uint32
+	seqs      []uint64
+	n         int
 	takenBits uint64
 	pcBits    uint64
-	dirty     bool
 }
 
 // NewSegmented builds a segmented recency stack. bounds must be a strictly
@@ -66,9 +78,27 @@ func NewSegmented(bounds []int, segSize int) *Segmented {
 		ring:    history.NewRing(cap),
 	}
 	for i := range s.segs {
-		s.segs[i] = segment{c: newCam(segSize)}
+		s.segs[i] = segment{
+			pcs:  make([]uint32, segSize),
+			seqs: make([]uint64, segSize),
+		}
 	}
 	return s
+}
+
+// SetPackObserver registers fn to receive the XOR delta of a segment's
+// packed words whenever a Commit mutates it. Pass nil to detach.
+// Callers restoring a snapshot must re-feed their observer from
+// PackedWords, since LoadState rebuilds the packed words from scratch.
+func (s *Segmented) SetPackObserver(fn func(seg int, takenDelta, pcDelta uint64)) {
+	s.onPack = fn
+}
+
+// PackedWords returns segment i's packed BF-GHR contribution (outcome
+// bits, address bits). Observers rebuilding after a snapshot load feed
+// these through their delta path.
+func (s *Segmented) PackedWords(i int) (taken, pc uint64) {
+	return s.segs[i].takenBits, s.segs[i].pcBits
 }
 
 // Commit records a committed branch and advances every segment: branches
@@ -81,40 +111,79 @@ func (s *Segmented) Commit(e history.Entry) {
 		start := uint64(s.bounds[i])
 		end := uint64(s.bounds[i+1])
 		seg := &s.segs[i]
+		oldT, oldP := seg.takenBits, seg.pcBits
 		// Evict entries that fell past the segment's end. Entries are in
 		// recency order, so only the tail can expire.
-		for seg.c.n > 0 && s.seq-seg.c.seq[seg.c.tail] >= end {
-			seg.c.evictTail()
-			seg.dirty = true
+		for seg.n > 0 && s.seq-seg.seqs[seg.n-1] >= end {
+			seg.evictTail()
 		}
 		// The branch that just reached depth `start` enters this segment.
-		if s.seq < start {
-			continue
+		if s.seq >= start {
+			d := int(start)
+			if s.ring.NonBiasedAt(d) {
+				seg.push(s.ring.PCAt(d), s.ring.TakenAt(d), s.seq-start)
+			}
 		}
-		arriving, ok := s.ring.At(int(start))
-		if !ok || !arriving.NonBiased {
-			continue
+		if s.onPack != nil {
+			if dT, dP := oldT^seg.takenBits, oldP^seg.pcBits; dT|dP != 0 {
+				s.onPack(i, dT, dP)
+			}
 		}
-		seg.c.push(uint64(arriving.HashedPC), arriving.Taken, s.seq-start)
-		seg.dirty = true
 	}
 }
 
-// repack rebuilds the segment's packed BF-GHR contribution from the
-// recency list (O(segSize), amortised over the predictions that read it).
-func (g *segment) repack() {
-	var taken, pcs uint64
-	var j uint
-	for s := g.c.head; s != camNil; s = g.c.next[s] {
-		if g.c.taken[s] {
-			taken |= 1 << j
+// evictTail drops the least recent entry (n must be > 0).
+func (g *segment) evictTail() {
+	g.n--
+	m := ^(uint64(1) << uint(g.n))
+	g.takenBits &= m
+	g.pcBits &= m
+}
+
+// push records the latest occurrence of pc: a hit drops the stale
+// occurrence and re-inserts at the front; a miss inserts at the front,
+// evicting the least recent entry when the stack is full. These are
+// exactly the shift register's hit/insert/evict cases, fused into one
+// rotate of the slots in [0, j]: everything at or beyond j+1 is
+// untouched, slot j's old occupant (the stale hit or the evicted tail)
+// drops out, and slots 0..j-1 shift one position deeper.
+func (g *segment) push(pc uint32, taken bool, seq uint64) {
+	n := g.n
+	j := -1
+	for k := 0; k < n; k++ {
+		if g.pcs[k] == pc {
+			j = k
+			break
 		}
-		pcs |= (g.c.pc[s] & 1) << j
-		j++
 	}
-	g.takenBits = taken
-	g.pcBits = pcs
-	g.dirty = false
+	if j == 0 {
+		// Refreshing the most recent entry leaves the order untouched.
+		g.seqs[0] = seq
+		g.takenBits &^= 1
+		if taken {
+			g.takenBits |= 1
+		}
+		return
+	}
+	if j < 0 {
+		if n == len(g.pcs) {
+			j = n - 1
+		} else {
+			j = n
+			g.n = n + 1
+		}
+	}
+	copy(g.pcs[1:j+1], g.pcs[:j])
+	copy(g.seqs[1:j+1], g.seqs[:j])
+	g.pcs[0] = pc
+	g.seqs[0] = seq
+	lo := uint64(1)<<uint(j+1) - 1
+	tb := g.takenBits&^lo | (g.takenBits<<1)&lo
+	if taken {
+		tb |= 1
+	}
+	g.takenBits = tb
+	g.pcBits = g.pcBits&^lo | (g.pcBits<<1)&lo | uint64(pc&1)
 }
 
 // Segments returns the number of segments.
@@ -124,21 +193,20 @@ func (s *Segmented) Segments() int { return len(s.segs) }
 func (s *Segmented) SegSize() int { return s.segSize }
 
 // SegmentLen returns the live entry count of segment i.
-func (s *Segmented) SegmentLen(i int) int { return s.segs[i].c.n }
+func (s *Segmented) SegmentLen(i int) int { return s.segs[i].n }
 
 // SegmentEntry returns slot j of segment i (j = 0 most recent). Empty
 // slots return a zero Entry with ok=false; keeping the geometry fixed lets
 // BF-TAGE build a stable-width BF-GHR bit vector.
 func (s *Segmented) SegmentEntry(i, j int) (Entry, bool) {
 	seg := &s.segs[i]
-	if j < 0 || j >= seg.c.n {
+	if j < 0 || j >= seg.n {
 		return Entry{}, false
 	}
-	slot := seg.c.at(j)
 	return Entry{
-		PC:    seg.c.pc[slot],
-		Taken: seg.c.taken[slot],
-		Dist:  s.seq - seg.c.seq[slot],
+		PC:    uint64(seg.pcs[j]),
+		Taken: seg.takenBits>>uint(j)&1 != 0,
+		Dist:  s.seq - seg.seqs[j],
 	}, true
 }
 
@@ -151,12 +219,8 @@ func (s *Segmented) SegmentEntry(i, j int) (Entry, bool) {
 // different contexts.
 func (s *Segmented) AppendPacked(ghr, pcs *history.BitVec) {
 	for i := range s.segs {
-		seg := &s.segs[i]
-		if seg.dirty {
-			seg.repack()
-		}
-		ghr.Append(seg.takenBits, s.segSize)
-		pcs.Append(seg.pcBits, s.segSize)
+		ghr.Append(s.segs[i].takenBits, s.segSize)
+		pcs.Append(s.segs[i].pcBits, s.segSize)
 	}
 }
 
@@ -165,12 +229,8 @@ func (s *Segmented) AppendPacked(ghr, pcs *history.BitVec) {
 // contributing false. It is the []bool reference form of AppendPacked.
 func (s *Segmented) AppendBFGHR(dst []bool) []bool {
 	for i := range s.segs {
-		seg := &s.segs[i]
-		if seg.dirty {
-			seg.repack()
-		}
 		for j := 0; j < s.segSize; j++ {
-			dst = append(dst, seg.takenBits>>uint(j)&1 != 0)
+			dst = append(dst, s.segs[i].takenBits>>uint(j)&1 != 0)
 		}
 	}
 	return dst
@@ -180,12 +240,8 @@ func (s *Segmented) AppendBFGHR(dst []bool) []bool {
 // (1 bit per slot) to dst, same geometry as AppendBFGHR.
 func (s *Segmented) AppendBFPCs(dst []bool) []bool {
 	for i := range s.segs {
-		seg := &s.segs[i]
-		if seg.dirty {
-			seg.repack()
-		}
 		for j := 0; j < s.segSize; j++ {
-			dst = append(dst, seg.pcBits>>uint(j)&1 != 0)
+			dst = append(dst, s.segs[i].pcBits>>uint(j)&1 != 0)
 		}
 	}
 	return dst

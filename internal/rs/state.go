@@ -15,7 +15,8 @@ import (
 // save appends the cam's live entries, most recent first.
 func (c *cam) save(e *state.Enc) {
 	e.U32(uint32(c.n))
-	for s := c.head; s != camNil; s = c.next[s] {
+	for k := 0; k < c.n; k++ {
+		s := c.order[k]
 		e.U64(c.pc[s])
 		e.Bool(c.taken[s])
 		e.U64(c.seq[s])
@@ -67,15 +68,56 @@ func (s *Stack) LoadState(d *state.Dec) error {
 	return s.c.load(d)
 }
 
+// save appends the segment's live entries, most recent first — the same
+// byte stream the original cam-backed segment produced.
+func (g *segment) save(e *state.Enc) {
+	e.U32(uint32(g.n))
+	for j := 0; j < g.n; j++ {
+		e.U64(uint64(g.pcs[j]))
+		e.Bool(g.takenBits>>uint(j)&1 != 0)
+		e.U64(g.seqs[j])
+	}
+}
+
+// load rebuilds the segment from a saved entry list, repacking the
+// outcome/address words directly.
+func (g *segment) load(d *state.Dec) error {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > len(g.pcs) {
+		return fmt.Errorf("%w: segment holds %d slots, snapshot has %d entries", state.ErrCorrupt, len(g.pcs), n)
+	}
+	g.n = n
+	g.takenBits, g.pcBits = 0, 0
+	for j := 0; j < n; j++ {
+		pc := d.U64()
+		taken := d.Bool()
+		seq := d.U64()
+		for k := 0; k < j; k++ {
+			if g.pcs[k] == uint32(pc) {
+				return fmt.Errorf("%w: duplicate cam pc %#x", state.ErrCorrupt, pc)
+			}
+		}
+		g.pcs[j] = uint32(pc)
+		g.seqs[j] = seq
+		if taken {
+			g.takenBits |= 1 << uint(j)
+		}
+		g.pcBits |= (pc & 1) << uint(j)
+	}
+	return d.Err()
+}
+
 // SaveState appends the segmented stack's position counter, unfiltered
-// ring, and every segment's entries. The packed BF-GHR contribution is
-// derived state and is rebuilt lazily after load.
+// ring, and every segment's entries.
 func (s *Segmented) SaveState(e *state.Enc) {
 	e.U64(s.seq)
 	s.ring.SaveState(e)
 	e.U32(uint32(len(s.segs)))
 	for i := range s.segs {
-		s.segs[i].c.save(e)
+		s.segs[i].save(e)
 	}
 }
 
@@ -94,11 +136,9 @@ func (s *Segmented) LoadState(d *state.Dec) error {
 		return fmt.Errorf("%w: segmented stack has %d segments, snapshot %d", state.ErrCorrupt, len(s.segs), n)
 	}
 	for i := range s.segs {
-		if err := s.segs[i].c.load(d); err != nil {
+		if err := s.segs[i].load(d); err != nil {
 			return err
 		}
-		s.segs[i].dirty = true
-		s.segs[i].takenBits, s.segs[i].pcBits = 0, 0
 	}
 	return d.Err()
 }

@@ -193,7 +193,7 @@ func (m *Monitor) dump(reason, alarmKey string, alarm *obs.DriftEvent) {
 		fmt.Fprintf(os.Stderr, "bfbp: flight dump: %v\n", err)
 		return
 	}
-	werr := snap.WriteTo(f)
+	werr := snap.Render(f)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
