@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke obs-smoke drift-smoke
+.PHONY: all build vet test race check bench bench-quick microbench trace-smoke snapshot-smoke obs-smoke drift-smoke xray-smoke
 
 all: check
 
@@ -111,6 +111,36 @@ drift-smoke:
 	[ $$drifts -ge 1 ] || { echo "drift-smoke: no drift alarms in journal"; exit 1; }; \
 	$(GO) run ./cmd/journal flight drift_ci.flight.json > /dev/null; \
 	echo "drift-smoke: ok ($$drifts drift alarms)"
+
+# Predictor-internals X-ray smoke: a short run with -probe-state must
+# emit tablestats journal events that `journal summary` reduces to
+# table-state rows, and a live probing run must publish
+# bfbp_table_occupancy series that `bfstat -once -json` surfaces.
+# Leaves xray_ci.jsonl behind for artifact upload.
+xray-smoke:
+	@set -e; \
+	$(GO) run ./cmd/bfsim -p bf-tage-8,bimodal -t SERV1 -n 150000 \
+		-probe-state -probe-state-every 32768 -journal xray_ci.jsonl > /dev/null; \
+	n=$$(grep -c '"event":"tablestats"' xray_ci.jsonl); \
+	[ $$n -ge 1 ] || { echo "xray-smoke: no tablestats events in journal"; exit 1; }; \
+	$(GO) run ./cmd/journal summary xray_ci.jsonl | grep -q 'table-state samples:' || \
+		{ echo "xray-smoke: summary missing table-state rows"; exit 1; }; \
+	$(GO) build -o bfsim_xray_ci ./cmd/bfsim; \
+	$(GO) build -o bfstat_xray_ci ./cmd/bfstat; \
+	./bfsim_xray_ci -p bf-tage-8,bf-neural -t all -n 400000 -probe-state \
+		-metrics-addr $(OBS_ADDR) > /dev/null 2>&1 & pid=$$!; \
+	ok=0; \
+	{ \
+		./bfstat_xray_ci -addr $(OBS_ADDR) -wait 30s -get /healthz > /dev/null && \
+		for i in $$(seq 1 100); do \
+			./bfstat_xray_ci -addr $(OBS_ADDR) -get /metrics | grep -q bfbp_table_occupancy && break; \
+			sleep 0.3; \
+		done && \
+		./bfstat_xray_ci -addr $(OBS_ADDR) -once -json | grep -q '"occupancy"'; \
+	} && ok=1; \
+	kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+	rm -f bfsim_xray_ci bfstat_xray_ci; \
+	[ $$ok -eq 1 ] && echo "xray-smoke: ok ($$n tablestats events)"
 
 # Go microbenchmarks: root package, engine/telemetry overhead, and the
 # hot-path kernels (fold pipelines / fold sets, recency-stack CAM,

@@ -195,6 +195,26 @@ type (
 	SnapshotHeader = state.Header
 )
 
+// Predictor-internals introspection types, re-exported from the
+// harness. Enable periodic sampling with Options.ProbeStateEvery on
+// predictors implementing StateProbe; every registry predictor does.
+type (
+	// StateProbe is the optional interface for predictors that expose
+	// internal table statistics for observation-only sampling.
+	StateProbe = sim.StateProbe
+	// TableStats is one StateProbe sample: per-bank occupancy, weight
+	// saturation, and recency-structure fill.
+	TableStats = sim.TableStats
+	// BankStats describes one table bank (occupancy, conflicts,
+	// useful-bit and counter saturation, history length and reach).
+	BankStats = sim.BankStats
+	// WeightStats describes one weight array (live weights, L1 norm,
+	// clamp saturation).
+	WeightStats = sim.WeightStats
+	// RecencyStats describes one recency-stack segment's fill.
+	RecencyStats = sim.RecencyStats
+)
+
 // Typed snapshot errors, matchable with errors.Is on Snapshotter.LoadState
 // failures.
 var (

@@ -9,6 +9,7 @@
 //	analyze -t SERV3 -p bf-neural -offenders 15           # worst PCs
 //	analyze -t SPEC06 -population                         # branch classes only
 //	analyze -t SERV1 -p tage-8,bf-tage-8 -explain         # provenance + paper-shape
+//	analyze -t SERV1 -p tage-8,bf-tage-8 -utilization     # occupancy by history length
 //	analyze -t SPEC03 -p bf-neural -warmstart             # cold vs warm MPKI curve
 //	analyze -t SERV3 -p bf-tage-10 -phases                # MPKI phase segments + movers
 //	analyze -t SPEC03 -p gshare -interference SERV1       # context-switch penalty
@@ -44,6 +45,7 @@ func main() {
 		population  = flag.Bool("population", false, "print the branch population summary and exit")
 		explain     = flag.Bool("explain", false, "decision provenance: cause taxonomy, component/bank attribution, paper-shape check")
 		explainNN   = flag.Uint64("explain-sample", 0, "confidence-margin sample period for -explain (power of two; 0 = 64)")
+		utilization = flag.Bool("utilization", false, "capacity-vs-reach report: per-bank occupancy/conflicts by history length, with a bias-free vs conventional shape check on pairs")
 		phases      = flag.Bool("phases", false, "segment the run at MPKI change points and rank phase-sensitive branch sites")
 		phaseWindow = flag.Uint64("phase-window", 0, "MPKI window in branches for -phases (0 = branches/50)")
 
@@ -151,6 +153,11 @@ func main() {
 		return
 	}
 
+	if *utilization {
+		utilizationRun(spec, *branches, ps)
+		return
+	}
+
 	if len(ps) == 1 && *offenders > 0 {
 		tr := spec.GenerateN(*branches)
 		classes, err := analysis.Classify(tr.Stream())
@@ -216,6 +223,35 @@ func explainRun(spec workload.Spec, branches int, sample uint64, ps []sim.Predic
 	}
 	if bf, base, ok := shapePair(shapes); ok {
 		fmt.Print(analysis.PaperShape(bf, base, classes).Render())
+	}
+}
+
+// utilizationRun prints each predictor's run-end table/state sample as
+// a capacity-vs-reach report; when the list pairs a bias-free predictor
+// with a conventional one, the capacity shape check runs on the pair.
+func utilizationRun(spec workload.Spec, branches int, ps []sim.Predictor) {
+	var reports []analysis.UtilizationReport
+	for _, p := range ps {
+		rep, err := analysis.Utilization(p, spec, branches)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
+		fmt.Println()
+		reports = append(reports, rep)
+	}
+	var bf, base *analysis.UtilizationReport
+	for i := range reports {
+		if strings.HasPrefix(reports[i].Predictor, "bf-") {
+			if bf == nil {
+				bf = &reports[i]
+			}
+		} else if base == nil {
+			base = &reports[i]
+		}
+	}
+	if bf != nil && base != nil {
+		fmt.Print(analysis.Capacity(*bf, *base).Render())
 	}
 }
 

@@ -32,6 +32,8 @@
 //	                                             # (watch live with cmd/bfstat)
 //	bfsim ... -journal run.jsonl                 # bfbp.journal.v1 event log
 //	bfsim ... -heartbeat 10s                     # periodic stderr progress + health line
+//	bfsim ... -probe-state                       # table/state X-ray: occupancy metrics,
+//	                                             # tablestats journal events, counter tracks
 //	bfsim ... -trace-out run.trace.json          # bfbp.trace.v1 span timeline (Perfetto)
 //	bfsim ... -runtime-trace run.rtrace          # Go runtime/trace with bridged spans
 //
@@ -103,6 +105,9 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "print an engine-progress line to stderr at this period (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write a bfbp.trace.v1 span timeline (Perfetto/chrome://tracing JSON) to this file")
 		rtraceOut   = flag.String("runtime-trace", "", "capture a Go runtime/trace (with bridged spans) to this file")
+
+		probeState      = flag.Bool("probe-state", false, "sample predictor table/state internals periodically (occupancy metrics, tablestats journal events, Perfetto counter tracks)")
+		probeStateEvery = flag.Uint64("probe-state-every", 65536, "with -probe-state, sample every N branches (quantised to batch boundaries)")
 
 		endurance  = flag.Int("endurance", 0, "splice the -t traces into one continuous run of N laps, -n branches per segment, reseeded per lap (phase-shifting long-run mode)")
 		drift      = flag.Bool("drift", false, "run streaming change-point detectors over windowed MPKI and engine throughput (drift journal events, counter tracks, alarm metrics)")
@@ -231,6 +236,12 @@ func main() {
 		},
 	}
 	tel.Attach(&eng)
+	if *probeState {
+		// Must land before the Matrix call below: every job shares this
+		// Options snapshot. The engine injects the default sink (metrics
+		// + journal + counter tracks) for any predictor with StateProbe.
+		eng.Options.ProbeStateEvery = *probeStateEvery
+	}
 	if *checkpointEvery > 0 {
 		path, tname, pname := *checkpointPath, sources[0].Name(), specs[0].Name
 		jr := tel.RunJournal()

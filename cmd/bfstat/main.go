@@ -41,6 +41,7 @@ func main() {
 		wait     = flag.Duration("wait", 0, "wait up to this long for the endpoint before the first poll")
 		requireQ = flag.String("require-quantiles", "", "with -once: comma-separated quantile metric names that must have samples (exit 1 otherwise)")
 		get      = flag.String("get", "", "fetch one raw endpoint path (e.g. /healthz) and print the body")
+		jsonOut  = flag.Bool("json", false, "with -once: emit the frame as one JSON object (occupancy, health, drift) instead of text")
 	)
 	flag.Parse()
 
@@ -69,7 +70,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(render(frame, *addr))
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(machineFrame(frame, *addr)); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(render(frame, *addr))
+		}
 		if *requireQ != "" {
 			if err := requireQuantiles(frame.vars, strings.Split(*requireQ, ",")); err != nil {
 				fatal(err)
@@ -283,6 +292,35 @@ func render(f frame, addr string) string {
 		human(v.num("bfbp_runtime_heap_bytes")), int64(v.num("bfbp_runtime_goroutines")),
 		int64(v.num("bfbp_runtime_gc_cycles_total")), secs(gcP99), secs(latP99))
 
+	// Table-state panel: per-bank occupancy, tag conflicts, and weight
+	// saturation, present only when the observed process runs with
+	// -probe-state.
+	occ := v.family("bfbp_table_occupancy")
+	if len(occ) > 0 {
+		conflicts := v.family("bfbp_tag_conflicts_total")
+		wsat := v.family("bfbp_weight_saturation")
+		b.WriteString("\ntable state (occupancy by bank)\n")
+		for _, pred := range seriesPredictors(occ) {
+			fmt.Fprintf(&b, " %-16s", pred)
+			for _, bank := range seriesOf(occ, pred) {
+				val, _ := occ[pred+","+bank].(float64)
+				fmt.Fprintf(&b, " %s %.0f%%", bank, 100*val)
+			}
+			if total := predictorSum(conflicts, pred); total > 0 {
+				fmt.Fprintf(&b, "  | conflicts %.0f", total)
+			}
+			b.WriteString("\n")
+			if banks := seriesOf(wsat, pred); len(banks) > 0 {
+				fmt.Fprintf(&b, " %-16s", "  weight sat")
+				for _, name := range banks {
+					val, _ := wsat[pred+","+name].(float64)
+					fmt.Fprintf(&b, " %s %.1f%%", name, 100*val)
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+
 	// Drift panel: change-point detector state and alarms, present only
 	// when the observed process runs with -drift.
 	baselines := v.family("bfbp_drift_baseline")
@@ -322,6 +360,140 @@ func render(f frame, addr string) string {
 		}
 	}
 	return b.String()
+}
+
+// seriesPredictors lists the distinct predictors (first label of the
+// "predictor,series" key) of a labeled family, sorted.
+func seriesPredictors(fam map[string]any) []string {
+	seen := map[string]bool{}
+	for key := range fam {
+		pred, _ := splitSeries(key)
+		seen[pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seriesOf lists the second-label values a predictor has in a family,
+// sorted.
+func seriesOf(fam map[string]any, pred string) []string {
+	var out []string
+	for key := range fam {
+		if p, rest := splitSeries(key); p == pred && rest != "" {
+			out = append(out, rest)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitSeries splits a "predictor,series" family key at the first comma.
+func splitSeries(key string) (pred, rest string) {
+	if i := strings.Index(key, ","); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
+
+// predictorSum totals a family's series belonging to one predictor.
+func predictorSum(fam map[string]any, pred string) float64 {
+	var total float64
+	for key, raw := range fam {
+		if p, _ := splitSeries(key); p == pred {
+			if v, ok := raw.(float64); ok {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// machineFrame reduces one poll to the `bfstat -once -json` document:
+// engine counters, per-predictor MPKI, the state-probe panels, drift
+// detectors, and health — one JSON object a pipeline can assert on.
+type machineDoc struct {
+	Addr   string             `json:"addr"`
+	Engine map[string]float64 `json:"engine"`
+	MPKI   map[string]float64 `json:"mpki,omitempty"`
+	// Occupancy and WeightSaturation map "predictor,series" keys to the
+	// latest gauge values; TagConflicts carries the cumulative counters.
+	Occupancy        map[string]float64 `json:"occupancy,omitempty"`
+	TagConflicts     map[string]float64 `json:"tag_conflicts,omitempty"`
+	WeightSaturation map[string]float64 `json:"weight_saturation,omitempty"`
+	Drift            []driftSeries      `json:"drift,omitempty"`
+	Health           healthDoc          `json:"health"`
+}
+
+type driftSeries struct {
+	Series   string  `json:"series"`
+	Baseline float64 `json:"baseline"`
+	Score    float64 `json:"score"`
+	Alarms   float64 `json:"alarms"`
+}
+
+func machineFrame(f frame, addr string) machineDoc {
+	v := f.vars
+	runs := v.family("bfbp_engine_runs_total")
+	ok, _ := runs["ok"].(float64)
+	failed, _ := runs["error"].(float64)
+	out := machineDoc{
+		Addr: addr,
+		Engine: map[string]float64{
+			"workers":      v.num("bfbp_engine_workers"),
+			"busy_workers": v.num("bfbp_engine_busy_workers"),
+			"queue_depth":  v.num("bfbp_engine_queue_depth"),
+			"runs_ok":      ok,
+			"runs_failed":  failed,
+			"branches":     v.num("bfbp_engine_branches_total"),
+		},
+		Occupancy:        floatFamily(v.family("bfbp_table_occupancy")),
+		TagConflicts:     floatFamily(v.family("bfbp_tag_conflicts_total")),
+		WeightSaturation: floatFamily(v.family("bfbp_weight_saturation")),
+		Health:           f.health,
+	}
+	mis, ins := v.family("bfbp_engine_mispredicts_total"), v.family("bfbp_engine_instructions_total")
+	for name, raw := range mis {
+		m, _ := raw.(float64)
+		if i, _ := ins[name].(float64); i > 0 {
+			if out.MPKI == nil {
+				out.MPKI = map[string]float64{}
+			}
+			out.MPKI[name] = 1000 * m / i
+		}
+	}
+	baselines := v.family("bfbp_drift_baseline")
+	scores, alarms := v.family("bfbp_drift_score"), v.family("bfbp_drift_alarms_total")
+	series := make([]string, 0, len(baselines))
+	for s := range baselines {
+		series = append(series, s)
+	}
+	sort.Strings(series)
+	for _, s := range series {
+		base, _ := baselines[s].(float64)
+		score, _ := scores[s].(float64)
+		fired, _ := alarms[s].(float64)
+		out.Drift = append(out.Drift, driftSeries{Series: s, Baseline: base, Score: score, Alarms: fired})
+	}
+	return out
+}
+
+// floatFamily keeps the numeric series of a labeled family, nil when
+// the family is absent.
+func floatFamily(fam map[string]any) map[string]float64 {
+	if len(fam) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(fam))
+	for k, raw := range fam {
+		if v, ok := raw.(float64); ok {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // throughput derives branches/s between consecutive history points.

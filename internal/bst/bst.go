@@ -112,6 +112,17 @@ func (t *Table) StorageBits() int { return 2 * len(t.states) }
 // Entries returns the table size.
 func (t *Table) Entries() int { return len(t.states) }
 
+// StateCounts returns how many entries currently sit in each FSM state,
+// indexed by State (NotFound, Taken, NotTaken, NonBiased). Probe-time
+// introspection only — a full-table scan, never on the prediction path.
+func (t *Table) StateCounts() [4]int {
+	var counts [4]int
+	for _, s := range t.states {
+		counts[s]++
+	}
+	return counts
+}
+
 // ProbTable is the probabilistic-counter Branch Status Table (§IV-B1).
 // Each entry holds the currently assumed bias direction plus a 3-bit
 // probabilistic confidence counter. Outcomes matching the assumed direction

@@ -11,6 +11,8 @@
 package bfgehl
 
 import (
+	"strconv"
+
 	"bfbp/internal/bst"
 	"bfbp/internal/history"
 	"bfbp/internal/rng"
@@ -407,8 +409,42 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: per-table weight norms and
+// clamp saturation (HistLen is the table's BF-GHR length), the BST's
+// classification census, and the segmented recency stacks' fill.
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{Predictor: p.Name()}
+	for i, tbl := range p.tables {
+		name := "T" + strconv.Itoa(i)
+		if i == 0 {
+			name = "bias"
+		}
+		ts.Weights = append(ts.Weights, sim.WeightArrayStats(i, name, p.hists[i], tbl, p.wMin, p.wMax))
+	}
+	if tbl, ok := p.class.(*bst.Table); ok {
+		counts := tbl.StateCounts()
+		ts.Banks = append(ts.Banks, sim.BankStats{
+			Bank:      0,
+			Kind:      "bst",
+			Entries:   tbl.Entries(),
+			Live:      tbl.Entries() - counts[bst.NotFound],
+			UsefulSet: counts[bst.NonBiased],
+		})
+	}
+	for i := 0; i < p.seg.Segments(); i++ {
+		ts.Recency = append(ts.Recency, sim.RecencyStats{
+			Segment: i,
+			Size:    p.seg.SegSize(),
+			Live:    p.seg.SegmentLen(i),
+			Depth:   p.cfg.SegBounds[i+1],
+		})
+	}
+	return ts
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -912,8 +912,44 @@ func (p *Predictor) Storage() sim.Breakdown {
 	return b
 }
 
+// ProbeState implements sim.StateProbe: weight profiles for Wb (8-bit
+// clamps) and Wm/Wrs (6-bit clamps), the BST's classification census,
+// and the recency structure's fill (the rs.Stack in ModeFull, the
+// filtered shift register otherwise).
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{
+		Predictor: p.Name(),
+		Weights: []sim.WeightStats{
+			sim.WeightArrayStats(0, "wb", 0, p.wb, -128, 127),
+			sim.WeightArrayStats(1, "wm", p.cfg.RecentUnfiltered, p.wm, wMin, wMax),
+			sim.WeightArrayStats(2, "wrs", 0, p.wrs, wMin, wMax),
+		},
+	}
+	if tbl, ok := p.class.(*bst.Table); ok {
+		counts := tbl.StateCounts()
+		ts.Banks = append(ts.Banks, sim.BankStats{
+			Bank:      0,
+			Kind:      "bst",
+			Entries:   tbl.Entries(),
+			Live:      tbl.Entries() - counts[bst.NotFound],
+			UsefulSet: counts[bst.NonBiased],
+		})
+	}
+	if p.rstack != nil {
+		ts.Recency = append(ts.Recency, sim.RecencyStats{
+			Segment: 0, Size: p.rstack.Depth(), Live: p.rstack.Len(),
+		})
+	} else if p.cfg.RSDepth > 0 {
+		ts.Recency = append(ts.Recency, sim.RecencyStats{
+			Segment: 0, Size: p.cfg.RSDepth, Live: len(p.filt),
+		})
+	}
+	return ts
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -15,6 +15,7 @@ package bftage
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bfbp/internal/bst"
 	"bfbp/internal/history"
@@ -127,6 +128,16 @@ type table struct {
 	tagMask uint32
 	// Fold-pipeline register ids: index fold, tag folds, address-bit fold.
 	rIdx, rT0, rT1, rPC int
+
+	// Occupancy accounting for StateProbe, maintained on the rare
+	// allocate path only: alloc marks indices that have ever been
+	// installed, live counts them, and evictions counts installs that
+	// displaced a previously allocated entry (tag conflicts). Pure
+	// observation — never serialised, never read by prediction.
+	alloc     []uint64
+	live      int
+	allocs    uint64
+	evictions uint64
 }
 
 // u reads entry i's useful bit.
@@ -286,6 +297,7 @@ func New(cfg Config) *Predictor {
 			useful:  make([]uint64, (n+63)/64),
 			mask:    uint64(1<<tc.LogEntries - 1),
 			tagMask: uint32(1<<tc.TagBits - 1),
+			alloc:   make([]uint64, (n+63)/64),
 		}
 		if p.pipe != nil {
 			t.rIdx = p.pipe.AddRegisterCh(0, tc.HistLen, tc.LogEntries)
@@ -701,6 +713,14 @@ func (p *Predictor) allocate(cp *checkpoint, taken bool) {
 		t := p.tables[i]
 		e := cp.idx[i]
 		if !t.u(e) {
+			w, b := e>>6, uint64(1)<<(e&63)
+			if t.alloc[w]&b == 0 {
+				t.alloc[w] |= b
+				t.live++
+			} else {
+				t.evictions++
+			}
+			t.allocs++
 			t.tags[e] = uint16(cp.tag[i])
 			t.ctrs[e] = int8(b2i(taken) - 1)
 			t.setU(e, false)
@@ -860,9 +880,77 @@ func (p *Predictor) Storage() sim.Breakdown {
 	return b
 }
 
+// ProbeState implements sim.StateProbe: base-table warmth, per-bank
+// occupancy/conflict profiles with both the BF-GHR history length and
+// the raw-branch reach (so capacity-vs-reach reports can compare BF
+// banks against conventional ones), useful-bit and counter saturation,
+// the BST's classification census, the segmented recency stacks' fill,
+// and the statistical corrector's weight saturation. Live counts come
+// from the allocate-path bitmap; everything else is scanned here, off
+// the hot path.
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{Predictor: p.Name()}
+	baseLive := 0
+	for i, pred := range p.basePred {
+		if pred || p.baseHyst[i>>2] {
+			baseLive++
+		}
+	}
+	ts.Banks = append(ts.Banks, sim.BankStats{
+		Bank: 0, Kind: "base", Entries: len(p.basePred), Live: baseLive,
+	})
+	for i, t := range p.tables {
+		useful := 0
+		for _, w := range t.useful {
+			useful += bits.OnesCount64(w)
+		}
+		sat := 0
+		for _, c := range t.ctrs {
+			if c == 3 || c == -4 {
+				sat++
+			}
+		}
+		ts.Banks = append(ts.Banks, sim.BankStats{
+			Bank:      i + 1,
+			Kind:      "tagged",
+			Entries:   len(t.tags),
+			Live:      t.live,
+			HistLen:   t.cfg.HistLen,
+			Reach:     p.reach(t.cfg.HistLen),
+			UsefulSet: useful,
+			Saturated: sat,
+			Allocs:    t.allocs,
+			Evictions: t.evictions,
+		})
+	}
+	if tbl, ok := p.class.(*bst.Table); ok {
+		counts := tbl.StateCounts()
+		ts.Banks = append(ts.Banks, sim.BankStats{
+			Bank:      len(p.tables) + 1,
+			Kind:      "bst",
+			Entries:   tbl.Entries(),
+			Live:      tbl.Entries() - counts[bst.NotFound],
+			UsefulSet: counts[bst.NonBiased],
+		})
+	}
+	for i := 0; i < p.seg.Segments(); i++ {
+		ts.Recency = append(ts.Recency, sim.RecencyStats{
+			Segment: i,
+			Size:    p.seg.SegSize(),
+			Live:    p.seg.SegmentLen(i),
+			Depth:   p.cfg.SegBounds[i+1],
+		})
+	}
+	if p.sc != nil {
+		ts.Weights = append(ts.Weights, sim.WeightArrayStats(0, "sc", 0, p.sc, -32, 31))
+	}
+	return ts
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.TableHitReporter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

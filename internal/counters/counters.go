@@ -129,6 +129,22 @@ func (c *Unsigned) IsMax() bool { return c.v == c.max }
 // Max exposes the saturation bound.
 func (c *Unsigned) Max() uint32 { return c.max }
 
+// Scan summarises a signed-counter table for state-probe reporting:
+// live counts counters away from zero (the reset value of every
+// counter table in this repository) and saturated counts counters
+// pinned at either bound.
+func Scan(cs []Signed) (live, saturated int) {
+	for i := range cs {
+		if cs[i].v != 0 {
+			live++
+		}
+		if cs[i].v == cs[i].min || cs[i].v == cs[i].max {
+			saturated++
+		}
+	}
+	return
+}
+
 // Weight is an 8-bit perceptron weight helper: a signed saturating counter
 // in [-128, 127] stored compactly. The neural predictors keep millions of
 // these, so unlike Signed it carries no bounds fields.

@@ -134,13 +134,26 @@ type DriftLine struct {
 	Direction string  `json:"direction"`
 }
 
+// TableStatsLine is one tablestats row of a summary: a StateProbe
+// sample of (trace, predictor) at a branch count, reduced to its bank
+// count and mean occupancy.
+type TableStatsLine struct {
+	Trace     string  `json:"trace"`
+	Predictor string  `json:"predictor"`
+	Branch    uint64  `json:"branch"`
+	Banks     int     `json:"banks"`
+	MeanOcc   float64 `json:"mean_occupancy"`
+}
+
 // Summary aggregates one journal: per-kind event counts plus the
-// run_finish results and drift alarms in journal order.
+// run_finish results, drift alarms, and table-state samples in journal
+// order.
 type Summary struct {
-	Events int            `json:"events"`
-	ByKind map[string]int `json:"by_kind"`
-	Runs   []RunLine      `json:"runs,omitempty"`
-	Drifts []DriftLine    `json:"drifts,omitempty"`
+	Events     int              `json:"events"`
+	ByKind     map[string]int   `json:"by_kind"`
+	Runs       []RunLine        `json:"runs,omitempty"`
+	Drifts     []DriftLine      `json:"drifts,omitempty"`
+	TableStats []TableStatsLine `json:"tablestats,omitempty"`
 }
 
 // Summarize builds a Summary over events.
@@ -169,6 +182,27 @@ func Summarize(events []Event) Summary {
 			dl.Value, _ = ev.Num("value")
 			dl.Baseline, _ = ev.Num("baseline")
 			s.Drifts = append(s.Drifts, dl)
+		case "tablestats":
+			tl := TableStatsLine{Trace: ev.Trace, Predictor: ev.Predictor}
+			if v, ok := ev.Num("branch"); ok {
+				tl.Branch = uint64(v)
+			}
+			banks, _ := ev.Fields["banks"].([]any)
+			var live, entries float64
+			for _, raw := range banks {
+				bank, _ := raw.(map[string]any)
+				if bank == nil {
+					continue
+				}
+				tl.Banks++
+				l, _ := bank["live"].(float64)
+				e, _ := bank["entries"].(float64)
+				live, entries = live+l, entries+e
+			}
+			if entries > 0 {
+				tl.MeanOcc = live / entries
+			}
+			s.TableStats = append(s.TableStats, tl)
 		}
 	}
 	return s
@@ -190,6 +224,13 @@ func (s Summary) Render() string {
 		fmt.Fprintf(&b, "%-10s %-18s %12s %12s %10s %8s\n", "trace", "predictor", "branches", "mispredicts", "MPKI", "span")
 		for _, r := range s.Runs {
 			fmt.Fprintf(&b, "%-10s %-18s %12d %12d %10.3f %8d\n", r.Trace, r.Predictor, r.Branches, r.Mispredicts, r.MPKI, r.Span)
+		}
+	}
+	if len(s.TableStats) > 0 {
+		fmt.Fprintf(&b, "table-state samples:\n")
+		for _, t := range s.TableStats {
+			fmt.Fprintf(&b, "  %-10s %-18s branch %10d  %2d banks  %5.1f%% occupied\n",
+				t.Trace, t.Predictor, t.Branch, t.Banks, 100*t.MeanOcc)
 		}
 	}
 	if len(s.Drifts) > 0 {

@@ -1,0 +1,113 @@
+package journalq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbp/internal/obs"
+)
+
+// tablestats payload mirror, like runFinish above: the frozen journal
+// field names without importing internal/sim.
+type tableStats struct {
+	Trace     string      `json:"trace"`
+	Predictor string      `json:"predictor"`
+	Branch    uint64      `json:"branch"`
+	Banks     []bankStats `json:"banks,omitempty"`
+	Span      uint64      `json:"span,omitempty"`
+}
+
+type bankStats struct {
+	Bank      int    `json:"bank"`
+	Kind      string `json:"kind"`
+	Entries   int    `json:"entries"`
+	Live      int    `json:"live"`
+	HistLen   int    `json:"hist_len,omitempty"`
+	Reach     int    `json:"reach,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
+}
+
+func buildTableStatsJournal(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	j.Clock = func() time.Time { return time.Unix(0, 0).UTC() }
+	j.Emit("suite_start", map[string]int{"jobs": 1})
+	j.Emit("tablestats", tableStats{
+		Trace: "SERV1", Predictor: "bf-tage-8", Branch: 65536, Span: 7,
+		Banks: []bankStats{
+			{Bank: 0, Kind: "base", Entries: 1000, Live: 500},
+			{Bank: 1, Kind: "tagged", Entries: 1000, Live: 100, HistLen: 16, Reach: 48, Evictions: 3},
+		},
+	})
+	j.Emit("tablestats", tableStats{
+		Trace: "SERV1", Predictor: "bf-tage-8", Branch: 131072, Span: 7,
+		Banks: []bankStats{
+			{Bank: 0, Kind: "base", Entries: 1000, Live: 700},
+			{Bank: 1, Kind: "tagged", Entries: 1000, Live: 300, HistLen: 16, Reach: 48, Evictions: 9},
+		},
+	})
+	j.Emit("run_finish", runFinish{Trace: "SERV1", Predictor: "bf-tage-8", Branches: 200_000, Mispredicts: 1878, MPKI: 9.39, Span: 7})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSummarizeTableStats(t *testing.T) {
+	events, err := Read(bytes.NewReader(buildTableStatsJournal(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.ByKind["tablestats"] != 2 {
+		t.Fatalf("kind counts wrong: %v", s.ByKind)
+	}
+	if len(s.TableStats) != 2 {
+		t.Fatalf("got %d tablestats rows, want 2: %+v", len(s.TableStats), s.TableStats)
+	}
+	first := s.TableStats[0]
+	if first.Trace != "SERV1" || first.Predictor != "bf-tage-8" || first.Branch != 65536 {
+		t.Fatalf("first row wrong: %+v", first)
+	}
+	if first.Banks != 2 {
+		t.Fatalf("first row banks = %d, want 2", first.Banks)
+	}
+	// 600 live over 2000 entries.
+	if first.MeanOcc < 0.29 || first.MeanOcc > 0.31 {
+		t.Fatalf("first row mean occupancy = %v, want ~0.30", first.MeanOcc)
+	}
+	if second := s.TableStats[1]; second.MeanOcc <= first.MeanOcc {
+		t.Fatalf("occupancy should rise across samples: %v -> %v", first.MeanOcc, second.MeanOcc)
+	}
+	out := s.Render()
+	for _, frag := range []string{"table-state samples:", "bf-tage-8", "2 banks", "30.0% occupied"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFilterTableStatsByKind(t *testing.T) {
+	events, err := Read(bytes.NewReader(buildTableStatsJournal(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Filter{Kind: "tablestats"}.Apply(events)
+	if len(got) != 2 {
+		t.Fatalf("kind filter matched %d events, want 2", len(got))
+	}
+	for _, ev := range got {
+		if ev.Kind != "tablestats" || ev.Span != 7 {
+			t.Fatalf("filtered event wrong: kind=%q span=%d", ev.Kind, ev.Span)
+		}
+		if !strings.Contains(ev.Raw, `"reach":48`) {
+			t.Fatalf("raw line lost bank detail: %s", ev.Raw)
+		}
+	}
+	if spanOnly := (Filter{Kind: "tablestats", Span: 7}).Apply(events); len(spanOnly) != 2 {
+		t.Fatalf("kind+span filter matched %d events, want 2", len(spanOnly))
+	}
+}

@@ -161,7 +161,33 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: filter fill (UsefulSet counts
+// the entries currently at max run length, i.e. actively filtering
+// their branch away from the PHT) plus PHT warmth.
+func (p *Predictor) ProbeState() sim.TableStats {
+	live, filtering := 0, 0
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		live++
+		if e.run.IsMax() {
+			filtering++
+		}
+	}
+	phtLive, phtSat := counters.Scan(p.pht)
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Banks: []sim.BankStats{
+			{Bank: 0, Kind: "filter", Entries: len(p.entries), Live: live, UsefulSet: filtering},
+			{Bank: 1, Kind: "pht", Entries: len(p.pht), Live: phtLive, Saturated: phtSat, HistLen: p.cfg.HistBits, Reach: p.cfg.HistBits},
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

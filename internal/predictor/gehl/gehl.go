@@ -9,6 +9,8 @@
 package gehl
 
 import (
+	"strconv"
+
 	"bfbp/internal/history"
 	"bfbp/internal/rng"
 	"bfbp/internal/sim"
@@ -246,8 +248,23 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: per-table weight norms and
+// clamp saturation (table 0 is the PC-only bias table).
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{Predictor: p.Name()}
+	for i, tbl := range p.tables {
+		name := "T" + strconv.Itoa(i)
+		if i == 0 {
+			name = "bias"
+		}
+		ts.Weights = append(ts.Weights, sim.WeightArrayStats(i, name, p.hists[i], tbl, p.wMin, p.wMax))
+	}
+	return ts
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -67,7 +67,20 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: a probe-time scan of the PHT
+// for warmth (non-zero counters) and saturation.
+func (p *Predictor) ProbeState() sim.TableStats {
+	live, sat := counters.Scan(p.table)
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Banks: []sim.BankStats{
+			{Bank: 0, Kind: "pht", Entries: len(p.table), Live: live, Saturated: sat, HistLen: p.histBits, Reach: p.histBits},
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

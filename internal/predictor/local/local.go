@@ -78,7 +78,27 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: warmth of the per-branch
+// history table (non-zero registers) and the shared PHT.
+func (p *Predictor) ProbeState() sim.TableStats {
+	histLive := 0
+	for _, h := range p.histories {
+		if h != 0 {
+			histLive++
+		}
+	}
+	phtLive, phtSat := counters.Scan(p.pht)
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Banks: []sim.BankStats{
+			{Bank: 0, Kind: "lhist", Entries: len(p.histories), Live: histLive, HistLen: p.histBits, Reach: p.histBits},
+			{Bank: 1, Kind: "pht", Entries: len(p.pht), Live: phtLive, Saturated: phtSat},
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

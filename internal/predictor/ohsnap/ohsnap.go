@@ -17,6 +17,8 @@
 package ohsnap
 
 import (
+	"strconv"
+
 	"bfbp/internal/history"
 	"bfbp/internal/rng"
 	"bfbp/internal/sim"
@@ -354,8 +356,42 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: one weight profile per ragged
+// segment (HistLen reports the segment's deepest history position), the
+// bias table, and the scaling coefficients (saturated = pinned at
+// coeffMin or coeffMax, the dynamic-adaptation clamps).
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{Predictor: p.Name()}
+	for s, seg := range p.cfg.Segments {
+		block := p.weights[p.segBase[s] : int(p.segBase[s])+seg.Rows*seg.Positions]
+		ts.Weights = append(ts.Weights, sim.WeightArrayStats(
+			s, "seg"+strconv.Itoa(s), p.segStart[s]+seg.Positions, block, -128, 127))
+	}
+	ts.Weights = append(ts.Weights,
+		sim.WeightArrayStats(len(p.cfg.Segments), "bias", 0, p.bias, -128, 127))
+	cw := sim.WeightStats{
+		Bank: len(p.cfg.Segments) + 1, Name: "coeff", Weights: len(p.coeff), Max: coeffMax,
+	}
+	for _, c := range p.coeff {
+		if c != 0 {
+			cw.Live++
+		}
+		if c == coeffMin || c == coeffMax {
+			cw.Saturated++
+		}
+		if c < 0 {
+			cw.L1 -= int64(c)
+		} else {
+			cw.L1 += int64(c)
+		}
+	}
+	ts.Weights = append(ts.Weights, cw)
+	return ts
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

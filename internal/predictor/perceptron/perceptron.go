@@ -361,8 +361,21 @@ func (p *Predictor) Storage() sim.Breakdown {
 	return sim.Breakdown{Name: p.Name(), Components: comps}
 }
 
+// ProbeState implements sim.StateProbe: norms and clamp saturation of
+// the correlating weight matrix and the bias table.
+func (p *Predictor) ProbeState() sim.TableStats {
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Weights: []sim.WeightStats{
+			sim.WeightArrayStats(0, "weights", p.cfg.HistoryLength, p.weights, -128, 127),
+			sim.WeightArrayStats(1, "bias", 0, p.bias, -128, 127),
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

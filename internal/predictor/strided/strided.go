@@ -246,7 +246,21 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: norms and clamp saturation of
+// the sampled weight matrix (HistLen reports the deepest sampled
+// offset) and the bias table.
+func (p *Predictor) ProbeState() sim.TableStats {
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Weights: []sim.WeightStats{
+			sim.WeightArrayStats(0, "weights", p.Reach(), p.weights, -128, 127),
+			sim.WeightArrayStats(1, "bias", 0, p.bias, -128, 127),
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -27,6 +27,16 @@ type table struct {
 	foldIdx  *history.Folded
 	foldTag0 *history.Folded
 	foldTag1 *history.Folded
+
+	// Occupancy accounting for StateProbe, maintained on the rare
+	// allocate path only: alloc marks indices that have ever been
+	// installed, live counts them, and evictions counts installs that
+	// displaced a previously allocated entry (tag conflicts). Pure
+	// observation — never serialised, never read by prediction.
+	alloc     []uint64
+	live      int
+	allocs    uint64
+	evictions uint64
 }
 
 // checkpoint captures everything Predict computed so Update trains exactly
@@ -131,6 +141,7 @@ func New(cfg Config) *Predictor {
 			foldIdx:  history.NewFolded(tc.HistLen, tc.LogEntries),
 			foldTag0: history.NewFolded(tc.HistLen, tc.TagBits),
 			foldTag1: history.NewFolded(tc.HistLen, maxInt(tc.TagBits-1, 1)),
+			alloc:    make([]uint64, (1<<tc.LogEntries+63)/64),
 		}
 		p.tables = append(p.tables, t)
 	}
@@ -403,8 +414,17 @@ func (p *Predictor) allocate(cp *checkpoint, taken bool) {
 		}
 	}
 	for i := start; i < len(p.tables); i++ {
-		e := &p.tables[i].entries[cp.idx[i]]
+		t := p.tables[i]
+		e := &t.entries[cp.idx[i]]
 		if !e.u {
+			w, b := cp.idx[i]>>6, uint64(1)<<(cp.idx[i]&63)
+			if t.alloc[w]&b == 0 {
+				t.alloc[w] |= b
+				t.live++
+			} else {
+				t.evictions++
+			}
+			t.allocs++
 			e.tag = uint16(cp.tag[i])
 			e.ctr = int8(b2i(taken) - 1) // weak toward the outcome
 			e.u = false
@@ -562,6 +582,50 @@ func (p *Predictor) Storage() sim.Breakdown {
 	return b
 }
 
+// ProbeState implements sim.StateProbe: base-table warmth, per-bank
+// occupancy/conflict/useful/saturation profiles (live counts come from
+// the allocate-path bitmap; useful and saturation are scanned here, off
+// the hot path), and the statistical corrector's weight saturation.
+func (p *Predictor) ProbeState() sim.TableStats {
+	ts := sim.TableStats{Predictor: p.Name()}
+	baseLive := 0
+	for i, pred := range p.basePred {
+		if pred || p.baseHyst[i>>2] {
+			baseLive++
+		}
+	}
+	ts.Banks = append(ts.Banks, sim.BankStats{
+		Bank: 0, Kind: "base", Entries: len(p.basePred), Live: baseLive,
+	})
+	for i, t := range p.tables {
+		useful, sat := 0, 0
+		for j := range t.entries {
+			if t.entries[j].u {
+				useful++
+			}
+			if t.entries[j].ctr == ctrMax || t.entries[j].ctr == ctrMin {
+				sat++
+			}
+		}
+		ts.Banks = append(ts.Banks, sim.BankStats{
+			Bank:      i + 1,
+			Kind:      "tagged",
+			Entries:   len(t.entries),
+			Live:      t.live,
+			HistLen:   t.cfg.HistLen,
+			Reach:     t.cfg.HistLen,
+			UsefulSet: useful,
+			Saturated: sat,
+			Allocs:    t.allocs,
+			Evictions: t.evictions,
+		})
+	}
+	if p.sc != nil {
+		ts.Weights = append(ts.Weights, sim.WeightArrayStats(0, "sc", 0, p.sc, -32, 31))
+	}
+	return ts
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"
@@ -589,4 +653,5 @@ var (
 	_ sim.StorageAccounter = (*Predictor)(nil)
 	_ sim.TableHitReporter = (*Predictor)(nil)
 	_ sim.Explainer        = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -170,7 +170,31 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// ProbeState implements sim.StateProbe: warmth and saturation of all
+// four component tables.
+func (p *Predictor) ProbeState() sim.TableStats {
+	histLive := 0
+	for _, h := range p.localHist {
+		if h != 0 {
+			histLive++
+		}
+	}
+	lpLive, lpSat := counters.Scan(p.localPHT)
+	gLive, gSat := counters.Scan(p.global)
+	chLive, chSat := counters.Scan(p.chooser)
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Banks: []sim.BankStats{
+			{Bank: 0, Kind: "lhist", Entries: len(p.localHist), Live: histLive, HistLen: p.cfg.LocalHistBits, Reach: p.cfg.LocalHistBits},
+			{Bank: 1, Kind: "pht", Entries: len(p.localPHT), Live: lpLive, Saturated: lpSat},
+			{Bank: 2, Kind: "pht", Entries: len(p.global), Live: gLive, Saturated: gSat, HistLen: p.cfg.GlobalHistBits, Reach: p.cfg.GlobalHistBits},
+			{Bank: 3, Kind: "choice", Entries: len(p.chooser), Live: chLive, Saturated: chSat},
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

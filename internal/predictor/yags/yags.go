@@ -168,7 +168,42 @@ func (p *Predictor) Storage() sim.Breakdown {
 	}
 }
 
+// cacheStats scans one direction cache at probe time: valid entries are
+// live, and a live entry pinned at a counter bound is saturated.
+func cacheStats(bank int, cache []cacheEntry, histBits int) sim.BankStats {
+	live, sat := 0, 0
+	for i := range cache {
+		e := &cache[i]
+		if !e.valid {
+			continue
+		}
+		live++
+		if v := e.ctr.Value(); v == e.ctr.Min() || v == e.ctr.Max() {
+			sat++
+		}
+	}
+	return sim.BankStats{
+		Bank: bank, Kind: "cache", Entries: len(cache), Live: live, Saturated: sat,
+		HistLen: histBits, Reach: histBits,
+	}
+}
+
+// ProbeState implements sim.StateProbe: choice-PHT warmth plus the fill
+// and saturation of the two exception caches.
+func (p *Predictor) ProbeState() sim.TableStats {
+	chLive, chSat := counters.Scan(p.choice)
+	return sim.TableStats{
+		Predictor: p.Name(),
+		Banks: []sim.BankStats{
+			{Bank: 0, Kind: "choice", Entries: len(p.choice), Live: chLive, Saturated: chSat},
+			cacheStats(1, p.tCache, p.cfg.HistBits),
+			cacheStats(2, p.ntCache, p.cfg.HistBits),
+		},
+	}
+}
+
 var (
 	_ sim.Predictor        = (*Predictor)(nil)
 	_ sim.StorageAccounter = (*Predictor)(nil)
+	_ sim.StateProbe       = (*Predictor)(nil)
 )

@@ -192,6 +192,13 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]RunResult, error) {
 			opt.TraceSpan = rsp
 		}
 		sid := rsp.ID()
+		if opt.ProbeStateEvery > 0 && opt.ProbeState == nil && (m != nil || j != nil || tr != nil) {
+			// State-probe samples flow into the attached telemetry:
+			// occupancy/saturation gauges and conflict counters on m,
+			// tablestats journal events on j, per-bank counter tracks
+			// on tr.
+			opt.ProbeState = stateProbeSink(m, j, tr, job.Source.Name(), job.Predictor.Name, sid)
+		}
 		m.runStart()
 		j.Emit("worker_state", journalWorkerState{Worker: worker, State: "busy", Span: sid})
 		j.Emit("run_start", journalRunStart{Trace: job.Source.Name(), Predictor: job.Predictor.Name, Worker: worker, Span: sid})

@@ -96,6 +96,7 @@ func TestJournalPayloadsCarrySpanTag(t *testing.T) {
 		"checkpoint":            journalCheckpoint{},
 		"health":                journalHealth{},
 		"drift":                 journalDrift{},
+		"tablestats":            journalTableStats{},
 	}
 	for _, k := range JournalEventKinds() {
 		if _, ok := payloads[k]; !ok {

@@ -39,6 +39,11 @@ type EngineMetrics struct {
 	// (Options.Explain + an Explainer predictor).
 	mispredictCauses *obs.CounterFamily
 	confMargin       *obs.HistogramFamily
+	// State-probe families, populated only by probed runs
+	// (Options.ProbeStateEvery + a StateProbe predictor).
+	tableOccupancy *obs.FloatGaugeFamily
+	tagConflicts   *obs.CounterFamily
+	weightSat      *obs.FloatGaugeFamily
 
 	// SampleEvery is the harness probe period in branches (rounded up
 	// to a power of two; 0 means 64). Predict/update latencies are
@@ -71,6 +76,12 @@ func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
 		confMargin: reg.HistogramFamily("bfbp_confidence_margin",
 			"sampled confidence minus threshold of explained predictions",
 			MarginBounds(), "predictor"),
+		tableOccupancy: reg.FloatGaugeFamily("bfbp_table_occupancy",
+			"live fraction of each predictor bank (StateProbe samples)", "predictor", "bank"),
+		tagConflicts: reg.CounterFamily("bfbp_tag_conflicts_total",
+			"allocations that evicted a previously allocated entry, by tagged bank", "predictor", "bank"),
+		weightSat: reg.FloatGaugeFamily("bfbp_weight_saturation",
+			"fraction of weights pinned at a clamp bound, by weight array", "predictor", "bank"),
 	}
 	m.runsOK = m.runs.With("ok")
 	m.runsFailed = m.runs.With("error")
@@ -148,6 +159,28 @@ func (m *EngineMetrics) runFinish(predictor string, st Stats, elapsed time.Durat
 				h.ObserveN(bounds[len(bounds)-1]+1, n)
 			}
 		}
+	}
+}
+
+// observeTableStats folds one StateProbe sample into the state-probe
+// metric families. Gauges are set to the sample's instantaneous values;
+// evictions are cumulative per bank, so the conflict counter advances
+// by the delta against lastEvict (per-cell state owned by the caller).
+// Nil-safe.
+func (m *EngineMetrics) observeTableStats(predictor string, ts TableStats, lastEvict map[string]uint64) {
+	if m == nil {
+		return
+	}
+	for _, b := range ts.Banks {
+		label := b.Label()
+		m.tableOccupancy.With(predictor, label).Set(b.Occupancy())
+		if d := b.Evictions - lastEvict[label]; d > 0 {
+			m.tagConflicts.With(predictor, label).Add(d)
+			lastEvict[label] = b.Evictions
+		}
+	}
+	for _, w := range ts.Weights {
+		m.weightSat.With(predictor, w.Name).Set(w.SaturationRate())
 	}
 }
 
@@ -323,7 +356,7 @@ func JournalEventKinds() []string {
 		"run_start", "run_finish", "run_error",
 		"window", "table_hits", "storage", "worker_state",
 		"provenance", "component_attribution", "checkpoint", "health",
-		"drift",
+		"drift", "tablestats",
 	}
 }
 

@@ -317,6 +317,19 @@ type Options struct {
 	// (typically to SaveState it somewhere). A non-nil error aborts the
 	// run. Must be set when CheckpointEvery is non-zero.
 	CheckpointFn func(p Predictor, branches uint64) error
+	// ProbeStateEvery, when non-zero, samples predictor-internal table
+	// statistics: for predictors implementing StateProbe, ProbeState
+	// receives one TableStats sample at the first batch boundary at or
+	// after every ProbeStateEvery branches (quantised like checkpoints)
+	// plus one final sample at end of trace. Probing is observation-only
+	// — results are bit-identical with it on or off — and predictors
+	// without the interface run unchanged. The engine injects its own
+	// consumer (metrics, journal, counter tracks) when ProbeState is nil
+	// and telemetry is attached.
+	ProbeStateEvery uint64
+	// ProbeState receives each state sample with the branch count it was
+	// taken at. It runs on the simulation goroutine between batches.
+	ProbeState func(ts TableStats, branches uint64)
 	// TraceSpan, when non-nil, is the parent execution span under which
 	// RunContext records its timeline: one "batch" span per record
 	// batch, a "drain" span for the delayed-update flush, and — when a
@@ -368,6 +381,19 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 		return stats, errors.New("sim: checkpointing requires immediate updates (UpdateDelay 0): snapshots must be quiescent")
 	}
 	nextCkpt := opt.CheckpointEvery
+	// State probing fires at batch boundaries too: the predictor is
+	// quiescent there, so an O(table) scan cannot interleave with a
+	// branch in flight.
+	var (
+		sprobe    StateProbe
+		nextProbe uint64
+	)
+	if opt.ProbeStateEvery > 0 && opt.ProbeState != nil {
+		if spr, ok := p.(StateProbe); ok {
+			sprobe = spr
+			nextProbe = opt.ProbeStateEvery
+		}
+	}
 	if opt.PerPC {
 		stats.perPC = make(map[uint64]*pcStat)
 	}
@@ -533,6 +559,14 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 				nextCkpt += opt.CheckpointEvery
 			}
 		}
+		if nextProbe > 0 && stats.Branches >= nextProbe {
+			psp := sp.Child("tablestats", "tablestats")
+			opt.ProbeState(sprobe.ProbeState(), stats.Branches)
+			psp.End()
+			for nextProbe <= stats.Branches {
+				nextProbe += opt.ProbeStateEvery
+			}
+		}
 	}
 	if dqLen > 0 {
 		dsp := sp.Child("drain", "drain").Attr("pending", dqLen)
@@ -548,6 +582,11 @@ func RunContext(ctx context.Context, p Predictor, r trace.Reader, opt Options) (
 		if opt.OnWindow != nil {
 			opt.OnWindow(WindowEvent{Index: len(stats.Windows) - 1, Final: true, Stat: win, Branches: stats.Branches})
 		}
+	}
+	// A final state sample covers the run end (and guarantees short runs
+	// still produce at least one tablestats event).
+	if sprobe != nil {
+		opt.ProbeState(sprobe.ProbeState(), stats.Branches)
 	}
 	// Warmup branches contribute no instructions; Branches keeps the full
 	// count so callers can verify trace coverage.

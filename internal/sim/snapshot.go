@@ -31,11 +31,12 @@ type Snapshotter interface {
 // unimplemented. It is the introspection surface the cmds use instead
 // of ad-hoc type asserts.
 type CapabilitySet struct {
-	Storage   StorageAccounter
-	TableHits TableHitReporter
-	Explain   Explainer
-	BankReach BankReacher
-	Snapshot  Snapshotter
+	Storage    StorageAccounter
+	TableHits  TableHitReporter
+	Explain    Explainer
+	BankReach  BankReacher
+	Snapshot   Snapshotter
+	StateProbe StateProbe
 }
 
 // Capabilities probes p for every optional interface.
@@ -46,11 +47,13 @@ func Capabilities(p Predictor) CapabilitySet {
 	c.Explain, _ = p.(Explainer)
 	c.BankReach, _ = p.(BankReacher)
 	c.Snapshot, _ = p.(Snapshotter)
+	c.StateProbe, _ = p.(StateProbe)
 	return c
 }
 
 // Names lists the implemented capabilities as short stable tags, in a
-// fixed order: storage, table-hits, explain, bank-reach, snapshot.
+// fixed order: storage, table-hits, explain, bank-reach, snapshot,
+// state-probe.
 func (c CapabilitySet) Names() []string {
 	var names []string
 	if c.Storage != nil {
@@ -67,6 +70,9 @@ func (c CapabilitySet) Names() []string {
 	}
 	if c.Snapshot != nil {
 		names = append(names, "snapshot")
+	}
+	if c.StateProbe != nil {
+		names = append(names, "state-probe")
 	}
 	return names
 }

@@ -1,0 +1,278 @@
+// StateProbe and the predictor-internals introspection surface. The
+// runtime observability layers (metrics, journal, traces, drift) watch
+// *how fast* a run goes and *how accurate* it is; StateProbe watches
+// the predictor state those numbers come from — which banks are full,
+// which tags collide, which weights saturate. The paper's claim is a
+// capacity statement (bias-free history lets a fixed budget reach
+// deeper correlations), so the harness needs a capacity view:
+// occupancy by history length is how `analyze -utilization` shows
+// bf-tage's deep banks earning their keep where a conventional TAGE's
+// alias out.
+
+package sim
+
+import (
+	"strconv"
+
+	"bfbp/internal/obs"
+)
+
+// StateProbe is the optional interface for predictors that can report
+// structured statistics over their internal tables. ProbeState must be
+// observation-only: calling it any number of times, at any point
+// between an Update and the next Predict, must not change any
+// prediction the predictor will ever make. Implementations scan their
+// tables at call time (the harness samples at batch boundaries, so
+// O(table) walks are off the hot path).
+type StateProbe interface {
+	ProbeState() TableStats
+}
+
+// TableStats is one point-in-time sample of a predictor's internal
+// state: indexed banks (PHTs, tagged tables, caches, classifiers),
+// weight arrays of the adder cores, and recency-stack segments.
+type TableStats struct {
+	// Predictor is the reporting predictor's Name().
+	Predictor string
+	// Banks describes each indexed table, in storage order.
+	Banks []BankStats
+	// Weights describes each weight array of an adder-tree core.
+	Weights []WeightStats
+	// Recency describes each recency-stack segment of a bias-free core.
+	Recency []RecencyStats
+}
+
+// BankStats describes one indexed table.
+type BankStats struct {
+	// Bank is the table's position in the predictor's storage order
+	// (0 is the base/choice structure where one exists).
+	Bank int
+	// Kind classifies the bank: "base", "tagged", "pht", "lhist",
+	// "choice", "cache", "filter", "bst".
+	Kind string
+	// Entries is the bank's capacity.
+	Entries int
+	// Live counts entries holding trained state: a set valid bit for
+	// tagged/cache banks, an allocation since reset for TAGE tagged
+	// tables, a counter away from its reset value for PHT-style banks.
+	Live int
+	// HistLen is the history length indexing the bank, in the
+	// predictor's own history bits (BF-GHR bits for bias-free cores);
+	// 0 for PC-indexed banks.
+	HistLen int
+	// Reach is the raw-branch depth the bank's history can observe —
+	// equal to HistLen for conventional predictors, and the segment
+	// bound for bias-free cores (the paper's structural advantage).
+	Reach int
+	// UsefulSet counts set useful bits (TAGE tagged tables).
+	UsefulSet int
+	// Saturated counts counters pinned at either clamp bound.
+	Saturated int
+	// Allocs counts entry installs since construction (TAGE tagged
+	// tables); Evictions counts installs that displaced a previously
+	// allocated entry — the tag-conflict signal.
+	Allocs    uint64
+	Evictions uint64
+}
+
+// Label renders the bank as a stable metric/track label ("T1:tagged").
+func (b BankStats) Label() string {
+	if b.Kind == "" {
+		return "T" + strconv.Itoa(b.Bank)
+	}
+	return "T" + strconv.Itoa(b.Bank) + ":" + b.Kind
+}
+
+// Occupancy is the live fraction of the bank.
+func (b BankStats) Occupancy() float64 {
+	if b.Entries == 0 {
+		return 0
+	}
+	return float64(b.Live) / float64(b.Entries)
+}
+
+// ConflictRate is the fraction of installs that evicted a previously
+// allocated entry.
+func (b BankStats) ConflictRate() float64 {
+	if b.Allocs == 0 {
+		return 0
+	}
+	return float64(b.Evictions) / float64(b.Allocs)
+}
+
+// WeightStats describes one weight array of an adder-tree core.
+type WeightStats struct {
+	// Bank is the array's position in the predictor's storage order.
+	Bank int
+	// Name identifies the array ("W3", "bias", "Wm", "sc").
+	Name string
+	// HistLen is the history length feeding the array (0 for bias rows).
+	HistLen int
+	// Weights is the array length; Live counts non-zero weights and
+	// Saturated counts weights pinned at either clamp bound.
+	Weights   int
+	Live      int
+	Saturated int
+	// L1 is the sum of absolute weight values; Max is the largest
+	// absolute value.
+	L1  int64
+	Max int32
+}
+
+// SaturationRate is the clamped fraction of the array.
+func (w WeightStats) SaturationRate() float64 {
+	if w.Weights == 0 {
+		return 0
+	}
+	return float64(w.Saturated) / float64(w.Weights)
+}
+
+// RecencyStats describes one segment of a segmented recency stack (or
+// the whole stack, for single-stack cores).
+type RecencyStats struct {
+	// Segment indexes the segment; Size is its capacity and Live its
+	// occupied depth.
+	Segment int
+	Size    int
+	Live    int
+	// Depth is the raw-branch depth bound of the segment.
+	Depth int
+}
+
+// The bfbp.journal.v1 tablestats payload mirrors TableStats with
+// frozen field names (DESIGN.md schema table).
+
+type journalBankStats struct {
+	Bank      int    `json:"bank"`
+	Kind      string `json:"kind"`
+	Entries   int    `json:"entries"`
+	Live      int    `json:"live"`
+	HistLen   int    `json:"hist_len,omitempty"`
+	Reach     int    `json:"reach,omitempty"`
+	UsefulSet int    `json:"useful,omitempty"`
+	Saturated int    `json:"saturated,omitempty"`
+	Allocs    uint64 `json:"allocs,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
+}
+
+type journalWeightStats struct {
+	Bank      int    `json:"bank"`
+	Name      string `json:"name"`
+	HistLen   int    `json:"hist_len,omitempty"`
+	Weights   int    `json:"weights"`
+	Live      int    `json:"live"`
+	Saturated int    `json:"saturated"`
+	L1        int64  `json:"l1"`
+	Max       int32  `json:"max"`
+}
+
+type journalRecencyStats struct {
+	Segment int `json:"segment"`
+	Size    int `json:"size"`
+	Live    int `json:"live"`
+	Depth   int `json:"depth,omitempty"`
+}
+
+type journalTableStats struct {
+	Trace     string                `json:"trace"`
+	Predictor string                `json:"predictor"`
+	Branch    uint64                `json:"branch"`
+	Banks     []journalBankStats    `json:"banks,omitempty"`
+	Weights   []journalWeightStats  `json:"weights,omitempty"`
+	Recency   []journalRecencyStats `json:"recency,omitempty"`
+	Span      uint64                `json:"span,omitempty"`
+}
+
+// JournalTableStats emits a tablestats event: one StateProbe sample of
+// predictor state taken after branch committed branches. Span joins
+// the event to its bfbp.trace.v1 timeline slice (0 when tracing is
+// off). Nil-safe on j.
+func JournalTableStats(j *obs.Journal, traceName string, ts TableStats, branch, span uint64) {
+	if j == nil {
+		return
+	}
+	ev := journalTableStats{
+		Trace:     traceName,
+		Predictor: ts.Predictor,
+		Branch:    branch,
+		Span:      span,
+	}
+	for _, b := range ts.Banks {
+		ev.Banks = append(ev.Banks, journalBankStats{
+			Bank: b.Bank, Kind: b.Kind, Entries: b.Entries, Live: b.Live,
+			HistLen: b.HistLen, Reach: b.Reach, UsefulSet: b.UsefulSet,
+			Saturated: b.Saturated, Allocs: b.Allocs, Evictions: b.Evictions,
+		})
+	}
+	for _, w := range ts.Weights {
+		ev.Weights = append(ev.Weights, journalWeightStats{
+			Bank: w.Bank, Name: w.Name, HistLen: w.HistLen, Weights: w.Weights,
+			Live: w.Live, Saturated: w.Saturated, L1: w.L1, Max: w.Max,
+		})
+	}
+	for _, r := range ts.Recency {
+		ev.Recency = append(ev.Recency, journalRecencyStats{
+			Segment: r.Segment, Size: r.Size, Live: r.Live, Depth: r.Depth,
+		})
+	}
+	j.Emit("tablestats", ev)
+}
+
+// stateProbeSink is the engine's standard ProbeState consumer for one
+// matrix cell: metric families on m, a tablestats journal event on j,
+// and per-bank Perfetto counter tracks on tr. All three sinks are
+// nil-safe, and the returned closure runs on the cell's worker
+// goroutine only.
+func stateProbeSink(m *EngineMetrics, j *obs.Journal, tr *obs.Tracer, traceName, predictor string, span uint64) func(TableStats, uint64) {
+	// Evictions are cumulative in each sample; the counter family wants
+	// deltas, tracked per bank across this cell's samples.
+	lastEvict := map[string]uint64{}
+	return func(ts TableStats, branches uint64) {
+		m.observeTableStats(predictor, ts, lastEvict)
+		JournalTableStats(j, traceName, ts, branches, span)
+		if tr != nil && len(ts.Banks) > 0 {
+			occ := make(map[string]float64, len(ts.Banks))
+			for _, b := range ts.Banks {
+				occ[b.Label()] = b.Occupancy()
+			}
+			tr.Counter("occupancy:"+predictor+"/"+traceName, occ)
+		}
+		if tr != nil && len(ts.Weights) > 0 {
+			sat := make(map[string]float64, len(ts.Weights))
+			for _, w := range ts.Weights {
+				sat[w.Name] = w.SaturationRate()
+			}
+			tr.Counter("weight-saturation:"+predictor+"/"+traceName, sat)
+		}
+	}
+}
+
+// ProbeState implements StateProbe. A static predictor holds no
+// mutable state, so the sample carries identity only.
+func (s *StaticPredictor) ProbeState() TableStats {
+	return TableStats{Predictor: s.Name()}
+}
+
+var _ StateProbe = (*StaticPredictor)(nil)
+
+// WeightArrayStats summarises an int8 weight array as one WeightStats.
+func WeightArrayStats(bank int, name string, histLen int, w []int8, min, max int8) WeightStats {
+	ws := WeightStats{Bank: bank, Name: name, HistLen: histLen, Weights: len(w)}
+	for _, v := range w {
+		if v != 0 {
+			ws.Live++
+		}
+		if v == min || v == max {
+			ws.Saturated++
+		}
+		a := int64(v)
+		if a < 0 {
+			a = -a
+		}
+		ws.L1 += a
+		if int32(a) > ws.Max {
+			ws.Max = int32(a)
+		}
+	}
+	return ws
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbp/internal/obs"
+	"bfbp/internal/workload"
+)
+
+// probeToy wraps the deterministic toy predictor with a StateProbe
+// implementation that counts its own samples.
+type probeToy struct {
+	toyShare
+	probes int
+}
+
+func (p *probeToy) ProbeState() TableStats {
+	p.probes++
+	live := 0
+	for _, v := range p.table {
+		if v != 0 {
+			live++
+		}
+	}
+	return TableStats{
+		Predictor: p.Name(),
+		Banks:     []BankStats{{Bank: 0, Kind: "pht", Entries: len(p.table), Live: live}},
+	}
+}
+
+// The harness must sample ProbeState at batch boundaries — never
+// mid-batch — every ProbeStateEvery branches, plus one final sample at
+// run end carrying the exact final branch count.
+func TestRunContextProbeStateFiring(t *testing.T) {
+	spec, ok := workload.ByName("INT1")
+	if !ok {
+		t.Fatal("INT1 missing")
+	}
+	const total, every = 50_000, 8192
+	p := &probeToy{}
+	type sample struct {
+		branches uint64
+		banks    int
+	}
+	var samples []sample
+	st, err := Run(p, spec.Stream(total), Options{
+		ProbeStateEvery: every,
+		ProbeState: func(ts TableStats, branches uint64) {
+			if ts.Predictor != "toy" {
+				t.Errorf("sample predictor = %q, want toy", ts.Predictor)
+			}
+			samples = append(samples, sample{branches, len(ts.Banks)})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.probes == 0 || len(samples) != p.probes {
+		t.Fatalf("probes = %d, samples = %d", p.probes, len(samples))
+	}
+	// 50000/8192 interval crossings plus the final sample.
+	if want := int(total/every) + 1; len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	for i, s := range samples {
+		if s.banks != 1 {
+			t.Fatalf("sample %d carries %d banks, want 1", i, s.banks)
+		}
+		if i > 0 && s.branches <= samples[i-1].branches {
+			t.Fatalf("samples not increasing: %v", samples)
+		}
+		if i < len(samples)-1 && s.branches%runBatchSize != 0 {
+			t.Errorf("sample %d at branch %d, not a batch boundary", i, s.branches)
+		}
+	}
+	if last := samples[len(samples)-1].branches; last != st.Branches {
+		t.Fatalf("final sample at branch %d, want %d", last, st.Branches)
+	}
+}
+
+// A predictor without StateProbe runs untouched under ProbeStateEvery:
+// no samples, no error.
+func TestRunContextProbeStateSkipsNonProbers(t *testing.T) {
+	spec, ok := workload.ByName("INT1")
+	if !ok {
+		t.Fatal("INT1 missing")
+	}
+	calls := 0
+	_, err := Run(&toyShare{}, spec.Stream(20_000), Options{
+		ProbeStateEvery: 4096,
+		ProbeState:      func(TableStats, uint64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("ProbeState called %d times for a non-probing predictor", calls)
+	}
+}
+
+// Probing must be observation-only end to end: a probed run's stats
+// must equal an unprobed run's bit for bit.
+func TestRunContextProbeStateBitExact(t *testing.T) {
+	spec, ok := workload.ByName("SERV2")
+	if !ok {
+		t.Fatal("SERV2 missing")
+	}
+	plain, err := Run(&probeToy{}, spec.Stream(40_000), Options{Warmup: 4_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := Run(&probeToy{}, spec.Stream(40_000), Options{
+		Warmup:          4_000,
+		ProbeStateEvery: 4096,
+		ProbeState:      func(TableStats, uint64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Branches != probed.Branches || plain.Mispredicts != probed.Mispredicts {
+		t.Fatalf("probing changed the run: plain %d/%d, probed %d/%d",
+			plain.Branches, plain.Mispredicts, probed.Branches, probed.Mispredicts)
+	}
+}
+
+// With telemetry attached and ProbeStateEvery set, the engine must
+// inject the default sink: occupancy gauges in the registry and
+// tablestats journal events, per cell.
+func TestEngineProbeStateSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewEngineMetrics(reg)
+	var journalBuf strings.Builder
+	j := obs.NewJournal(&journalBuf)
+	j.Clock = func() time.Time { return time.Unix(0, 0).UTC() }
+
+	spec, ok := workload.ByName("MM1")
+	if !ok {
+		t.Fatal("MM1 missing")
+	}
+	eng := Engine{Workers: 1, Metrics: m, Journal: j}
+	jobs := Matrix(
+		[]TraceSource{spec.Source(30_000)},
+		[]PredictorSpec{{Name: "toy", New: func() Predictor { return &probeToy{} }}},
+		Options{ProbeStateEvery: 8192},
+	)
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var expo strings.Builder
+	if err := reg.WriteJSON(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"bfbp_table_occupancy", "toy,T0:pht"} {
+		if !strings.Contains(expo.String(), metric) {
+			t.Errorf("registry export missing %q:\n%s", metric, expo.String())
+		}
+	}
+	journal := journalBuf.String()
+	if !strings.Contains(journal, `"event":"tablestats"`) {
+		t.Fatalf("journal has no tablestats events:\n%s", journal)
+	}
+	if !strings.Contains(journal, `"kind":"pht"`) {
+		t.Fatalf("tablestats events lost bank detail:\n%s", journal)
+	}
+}
